@@ -1,0 +1,67 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures as text and is
+also a ``pytest-benchmark`` target timing the underlying experiment.  Run::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables; without it only timings appear.)
+
+Environment knobs:
+
+- ``REPRO_BENCH_SAMPLES`` — validation sample count for the Fig. 11 bench
+  (default 30; the paper uses 300 — set it for a full run).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro import ParallelProphet
+from repro.simhw import MachineConfig
+
+#: The paper's experimental platform (Section VII-A).
+MACHINE = MachineConfig(n_cores=12)
+
+#: Thread counts of Figs. 2 and 12.
+THREADS = [2, 4, 6, 8, 10, 12]
+
+#: Workload scales for bench runs: large enough for stable shapes, small
+#: enough that the whole harness finishes in minutes.
+BENCH_SCALES: dict[str, dict] = {
+    "ompscr_md": dict(particles=512, steps=2),
+    "ompscr_lu": dict(size=96),
+    "ompscr_fft": dict(n_points=4096),
+    "ompscr_qsort": dict(elements=200_000),
+    "npb_ep": dict(batches=192),
+    "npb_ft": dict(planes=48, timesteps=2),
+    "npb_mg": dict(fine_planes=48, cycles_count=2),
+    "npb_cg": dict(outer_steps=2, inner_iterations=5, row_blocks=64),
+}
+
+
+def sample_count(default: int = 30) -> int:
+    """Number of random validation samples (paper: 300)."""
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+@lru_cache(maxsize=1)
+def prophet() -> ParallelProphet:
+    """One calibrated prophet shared across benches (calibration cached)."""
+    p = ParallelProphet(machine=MACHINE)
+    p.calibration(THREADS)
+    return p
+
+
+def fmt_row(label: str, values, width: int = 6) -> str:
+    cells = " ".join(
+        f"{v:>{width}.2f}" if isinstance(v, (int, float)) else f"{v:>{width}}"
+        for v in values
+    )
+    return f"{label:<14} {cells}"
+
+
+def banner(title: str) -> str:
+    line = "=" * max(60, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"

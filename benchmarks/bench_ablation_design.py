@@ -1,0 +1,144 @@
+"""Ablation study — what each modelling choice buys.
+
+DESIGN.md calls out four load-bearing design decisions of Parallel Prophet;
+this bench knocks each one out and measures the resulting prediction error
+against the simulated ground truth:
+
+1. **Parallel-overhead modelling** (Section IV-C: fork/join, dispatch, lock
+   costs in the FF) — ablated by zeroing the FF's overhead constants while
+   the real runtime keeps paying them.  Matters most for fine-grained and
+   frequently-forked loops (LU).
+2. **Schedule modelling** (Fig. 5) — ablated by forcing the FF to emulate
+   ``dynamic,1`` whatever the target schedule (what the paper observed
+   Suitability doing).  Matters for imbalanced static loops.
+3. **Synthesizer traversal-overhead subtraction** (Section IV-E, Fig. 8
+   line 26) — ablated by *not* subtracting the per-worker traversal cost
+   from the gross measurement.  Matters for large trees of tiny nodes.
+4. **The memory model** (Section V) — ablated by β = 1.  Matters for
+   bandwidth-saturated workloads (FT).
+
+Each assertion checks the ablated variant is strictly worse where the
+design choice is supposed to matter.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALES, MACHINE, banner, prophet
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.report import error_ratio
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.runtime.overhead import DEFAULT_OVERHEADS
+from repro.workloads import get_workload
+
+T = 8
+
+
+def _real(profile, schedule, threads=T):
+    ex = ParallelExecutor(MACHINE, schedule=Schedule.parse(schedule))
+    return ex.execute_profile(profile.tree, threads, ReplayMode.REAL).speedup
+
+
+def _ff(profile, schedule, overheads=DEFAULT_OVERHEADS, threads=T):
+    ff = FastForwardEmulator(overheads)
+    t, _ = ff.emulate_profile(profile.tree, threads, Schedule.parse(schedule))
+    return profile.serial_cycles() / t
+
+
+def ablate_overheads():
+    """FF accuracy with vs without overhead modelling on LU."""
+    p = prophet()
+    wl = get_workload("ompscr_lu", size=64)
+    profile = p.profile(wl.program)
+    real = _real(profile, wl.schedule)
+    with_oh = error_ratio(_ff(profile, wl.schedule), real)
+    without_oh = error_ratio(
+        _ff(profile, wl.schedule, RuntimeOverheads().scaled(0.0)), real
+    )
+    return {"real": real, "with": with_oh, "without": without_oh}
+
+
+def ablate_schedules():
+    """FF accuracy with schedule modelling vs forced dynamic,1 on an
+    imbalanced static loop."""
+
+    def ramp(tr):
+        with tr.section("ramp"):
+            for i in range(24):
+                with tr.task():
+                    tr.compute((i + 1) * 50_000)
+
+    p = prophet()
+    profile = p.profile(ramp)
+    real = _real(profile, "static")
+    with_sched = error_ratio(_ff(profile, "static"), real)
+    forced = error_ratio(_ff(profile, "dynamic,1"), real)
+    return {"real": real, "with": with_sched, "without": forced}
+
+
+def ablate_traversal_subtraction():
+    """Synthesizer accuracy with vs without traversal-overhead subtraction
+    on a large tree of tiny nodes."""
+
+    def fine_grained(tr):
+        with tr.section("fine"):
+            for _ in range(600):
+                with tr.task():
+                    tr.compute(800)
+
+    p = prophet()
+    profile = p.profile(fine_grained)
+    real = _real(profile, "static,1", threads=4)
+    ex = ParallelExecutor(MACHINE, schedule=Schedule.static_chunk(1))
+    replay = ex.execute_profile(profile.tree, 4, ReplayMode.FAKE)
+    serial = profile.serial_cycles()
+    gross_total = sum(r.gross_cycles for r in replay.sections)
+    net_total = sum(r.net_cycles for r in replay.sections)
+    with_sub = error_ratio(serial / net_total, real)
+    without_sub = error_ratio(serial / gross_total, real)
+    return {"real": real, "with": with_sub, "without": without_sub}
+
+
+def ablate_memory_model():
+    """Synthesizer accuracy with vs without burden factors on FT."""
+    p = prophet()
+    wl = get_workload("npb_ft", **BENCH_SCALES["npb_ft"])
+    profile = p.profile(wl.program)
+    real = _real(profile, wl.schedule, threads=12)
+    with_mem = p.predict(
+        profile, [12], schedules=[wl.schedule], methods=("syn",), memory_model=True
+    ).speedup(method="syn", n_threads=12)
+    without_mem = p.predict(
+        profile, [12], schedules=[wl.schedule], methods=("syn",), memory_model=False
+    ).speedup(method="syn", n_threads=12)
+    return {
+        "real": real,
+        "with": error_ratio(with_mem, real),
+        "without": error_ratio(without_mem, real),
+    }
+
+
+def run_ablations():
+    return {
+        "overhead modelling (LU)": ablate_overheads(),
+        "schedule modelling (ramp/static)": ablate_schedules(),
+        "traversal subtraction (fine tree)": ablate_traversal_subtraction(),
+        "memory model (FT @12)": ablate_memory_model(),
+    }
+
+
+def test_ablation_design(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    print(banner("Ablations — prediction error with / without each design choice"))
+    print(f"{'design choice':<34} {'real':>6} {'with':>8} {'without':>8}")
+    for name, r in rows.items():
+        print(f"{name:<34} {r['real']:>6.2f} {r['with']:>8.1%} {r['without']:>8.1%}")
+
+    for name, r in rows.items():
+        assert r["with"] < r["without"], name
+        assert r["with"] < 0.12, name
+    # The big guns: schedule modelling and the memory model each avoid
+    # multi-x mispredictions.
+    assert rows["schedule modelling (ramp/static)"]["without"] > 0.25
+    assert rows["memory model (FT @12)"]["without"] > 1.0

@@ -1,0 +1,77 @@
+"""Figure 2 — NPB-FT speedup saturation from memory traffic.
+
+Paper: FT (input B, 850 MB footprint) saturates near 4-4.5× beyond ~6 cores;
+"Kismet and Suitability overestimate speedups" because neither models memory
+contention, while Parallel Prophet's burden factors track the saturation.
+This bench regenerates the Real / Pred(+memory) series of Fig. 2 plus the
+memory-blind predictions of the two comparison tools.
+"""
+
+from __future__ import annotations
+
+from _common import MACHINE, THREADS, banner, fmt_row, prophet
+from repro.baselines import KismetEstimator, SuitabilityAnalysis
+from repro.core.report import error_ratio
+from repro.workloads import get_workload
+
+
+def run_fig2():
+    p = prophet()
+    wl = get_workload("npb_ft", planes=48, timesteps=2)
+    profile = p.profile(wl.program)
+    real = p.measure_real(profile, THREADS)
+    pred_m = p.predict(profile, THREADS, methods=("syn",), memory_model=True)
+    pred = p.predict(profile, THREADS, methods=("syn",), memory_model=False)
+    kismet = KismetEstimator().predict(profile, THREADS)
+    suit = SuitabilityAnalysis().predict(profile, THREADS)
+    rows = {}
+    for label, report, kwargs in (
+        ("Real", real, {}),
+        ("Pred", pred_m, dict(method="syn")),
+        ("Pred-noMem", pred, dict(method="syn")),
+        ("Kismet", kismet, {}),
+        ("Suitability", suit, {}),
+    ):
+        rows[label] = [report.speedup(n_threads=t, **kwargs) for t in THREADS]
+    rows["burden"] = [
+        profile.burden_for("fft_x", t) for t in THREADS
+    ]
+    return rows
+
+
+def test_fig02_ft_saturation(benchmark):
+    rows = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+    print(banner("Figure 2 — NPB-FT (B/850MB): real vs predicted speedup"))
+    print(fmt_row("series", [f"{t}-core" for t in THREADS]))
+    for label in ("Real", "Pred", "Pred-noMem", "Kismet", "Suitability", "burden"):
+        print(fmt_row(label, rows[label]))
+
+    from repro.core.asciiplot import speedup_chart
+
+    print()
+    print(
+        speedup_chart(
+            {
+                "Real": rows["Real"],
+                "Pred": rows["Pred"],
+                "Pred-noMem": rows["Pred-noMem"],
+            },
+            THREADS,
+        )
+    )
+
+    real12 = rows["Real"][-1]
+    # Saturation: 12-core real speedup well below linear and roughly flat
+    # from 6 cores (the Fig. 2 shape).
+    assert real12 < 6.0
+    assert rows["Real"][-1] < rows["Real"][2] * 1.25
+    # Prophet with the memory model lands within ~30%; the memory-blind
+    # baselines overestimate by >2x (the paper's headline claim).
+    assert error_ratio(rows["Pred"][-1], real12) < 0.30
+    assert rows["Kismet"][-1] > 2 * real12
+    assert rows["Suitability"][-1] > 2 * real12
+    # Burden factors in the paper's reported 1.0-1.45-ish band at low t,
+    # growing with t.
+    assert rows["burden"][0] < 1.3
+    assert rows["burden"][-1] > rows["burden"][0]

@@ -1,0 +1,69 @@
+"""Figure 4 — building a program tree from an annotated program.
+
+Regenerates the paper's worked example: a parallel loop with a critical
+section and a conditional nested parallel loop, profiled into a tree of
+Sec/Task/U/L nodes with burden factors attached to the top-level section.
+The bench also times interval profiling itself (the paper's "lightweight"
+claim: profiling is annotation-proportional, not instruction-proportional).
+"""
+
+from __future__ import annotations
+
+from _common import MACHINE, banner, prophet
+from repro.core.tree import NodeKind
+
+
+def fig4_program(tr):
+    """The code of the paper's Fig. 4: for-i loop with a lock and an inner
+    parallel for-j loop executed when p3 holds (here: for even i)."""
+    with tr.section("loop1"):
+        for i in range(4):
+            with tr.task(f"t1_{i}"):
+                tr.compute(10_000)  # Compute(p1)
+                with tr.lock(1):
+                    tr.compute(2_500)  # Compute(p2), protected
+                if i % 2 == 0:  # if (p3)
+                    with tr.section("loop2"):
+                        for j in range(4):
+                            with tr.task(f"t2_{j}"):
+                                tr.compute(5_000 - 1_000 * (j % 2))
+                tr.compute(2_000)  # Compute(p5)
+
+
+def run_fig4():
+    p = prophet()
+    profile = p.profile(fig4_program)
+    p.attach_burdens(profile, [2, 4])
+    return profile
+
+
+def test_fig04_program_tree(benchmark):
+    profile = benchmark.pedantic(run_fig4, rounds=5, iterations=1)
+
+    print(banner("Figure 4 — program tree from the annotated example"))
+    print(profile.tree.pretty())
+    print(f"\nburden factors: "
+          f"beta_2={profile.burden_for('loop1', 2):.3f}, "
+          f"beta_4={profile.burden_for('loop1', 4):.3f}")
+    print(f"logical nodes: {profile.tree.logical_nodes()}, "
+          f"stored nodes: {profile.tree.unique_nodes()} "
+          f"(compression {profile.compression.reduction:.0%})")
+    print(f"profiling slowdown: {profile.stats.slowdown:.3f}x "
+          f"({profile.stats.annotation_events} annotation events)")
+
+    # Structure of Fig. 4: one top-level section of 4 tasks; even tasks
+    # contain U, L, Sec, U; odd tasks contain U, L, U.
+    sec = profile.tree.top_level_sections()[0]
+    assert sec.name == "loop1"
+    tasks = []
+    for t in sec.children:
+        tasks.extend([t] * t.repeat)
+    assert len(tasks) == 4
+    even_kinds = [c.kind for c in tasks[0].children]
+    assert even_kinds == [NodeKind.U, NodeKind.L, NodeKind.SEC, NodeKind.U]
+    odd_kinds = [c.kind for c in tasks[1].children]
+    assert odd_kinds == [NodeKind.U, NodeKind.L, NodeKind.U]
+    # The tiny example has negligible traffic: burdens are 1.
+    assert profile.burden_for("loop1", 2) == 1.0
+    # Profiling is lightweight (paper: 1.2-10x; this example is tiny).
+    assert profile.stats.slowdown < 1.2

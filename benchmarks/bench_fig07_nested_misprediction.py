@@ -1,0 +1,67 @@
+"""Figure 7 — the two-level nested loop the FF cannot predict.
+
+Paper: a nested parallel loop on a dual core whose real speedup is 2.0×,
+while the FF (and Suitability) predict 1.5× because neither models OS
+preemption/oversubscription.  The synthesizer, which executes through the
+real (simulated) runtime and OS, recovers the 2.0×.
+"""
+
+from __future__ import annotations
+
+from _common import banner, fmt_row
+from repro import ParallelProphet
+from repro.baselines import SuitabilityAnalysis
+from repro.runtime import RuntimeOverheads
+from repro.simhw import MachineConfig
+
+M2 = MachineConfig(n_cores=2, timeslice_cycles=20_000.0)
+UNIT = 1e6
+
+
+def fig7_program(tr):
+    with tr.section("Loop1"):
+        with tr.task("I0"):
+            with tr.section("LoopA"):
+                with tr.task():
+                    tr.compute(10 * UNIT)
+                with tr.task():
+                    tr.compute(5 * UNIT)
+        with tr.task("I1"):
+            with tr.section("LoopB"):
+                with tr.task():
+                    tr.compute(5 * UNIT)
+                with tr.task():
+                    tr.compute(10 * UNIT)
+
+
+def run_fig7() -> dict[str, float]:
+    p = ParallelProphet(machine=M2, overheads=RuntimeOverheads().scaled(0.0))
+    profile = p.profile(fig7_program)
+    ff = p.predict(
+        profile, threads=[2], methods=("ff",), memory_model=False
+    ).speedup(method="ff", n_threads=2)
+    syn = p.predict(
+        profile, threads=[2], methods=("syn",), memory_model=False
+    ).speedup(method="syn", n_threads=2)
+    real = p.measure_real(profile, threads=[2]).speedup(n_threads=2)
+    suit_report = SuitabilityAnalysis(RuntimeOverheads().scaled(0.0)).predict(
+        profile, [2]
+    )
+    suit = suit_report.speedup(n_threads=2)
+    return {"real": real, "ff": ff, "syn": syn, "suit": suit}
+
+
+def test_fig07_nested_misprediction(benchmark):
+    results = benchmark.pedantic(run_fig7, rounds=3, iterations=1)
+
+    print(banner("Figure 7 — nested loop, dual core (paper: real 2.0, FF 1.5)"))
+    print(fmt_row("method", ["speedup", "paper"]))
+    print(fmt_row("real", [results["real"], 2.0]))
+    print(fmt_row("FF", [results["ff"], 1.5]))
+    print(fmt_row("Suitability", [results["suit"], 1.5]))
+    print(fmt_row("synthesizer", [results["syn"], 2.0]))
+
+    assert abs(results["real"] - 2.0) < 0.1
+    assert abs(results["ff"] - 1.5) < 0.05
+    assert abs(results["suit"] - 1.5) < 0.1
+    assert abs(results["syn"] - 2.0) < 0.1

@@ -1,0 +1,99 @@
+"""Figure 11 — validation of the prediction model on random Test1/Test2
+samples.
+
+The paper generates 300 random samples of each pattern (Figs. 9-10),
+parallelizes them with OpenMP under three schedules, and scatter-plots
+predicted vs real speedups on 8 and 12 cores.  Reported accuracy:
+
+- Test1 + FF:  <4 % average error, 23 % max (Fig. 11 a-b);
+- Test2 + FF:  ~7 % average, up to 68 %, worst for ``static`` (c-d);
+- Test2 + SYN: ~3 % average, 19 % max (e);
+- Test2 + Suitability: poor (f).
+
+This bench regenerates the same statistics (sample count via
+``REPRO_BENCH_SAMPLES``, default 30) and asserts the *relationships*: FF is
+accurate on Test1, degrades on Test2, and the synthesizer repairs Test2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import banner, fmt_row, sample_count
+from repro import ParallelProphet
+from repro.baselines import SuitabilityAnalysis
+from repro.core.report import error_ratio
+from repro.simhw import MachineConfig
+from repro.workloads import random_test1, random_test2
+from repro.workloads import test1_program as make_test1
+from repro.workloads import test2_program as make_test2
+
+SCHEDULES = ["static,1", "static", "dynamic,1"]
+
+
+def _validate(pattern: str, method: str, n_threads: int, n_samples: int):
+    machine = MachineConfig(n_cores=n_threads)
+    p = ParallelProphet(machine=machine)
+    rng = np.random.default_rng(20120521)  # IPDPS 2012
+    errors = []
+    for i in range(n_samples):
+        if pattern == "test1":
+            program = make_test1(random_test1(rng, scale=0.4))
+        else:
+            program = make_test2(random_test2(rng, scale=0.4))
+        profile = p.profile(program)
+        schedule = SCHEDULES[i % len(SCHEDULES)]
+        real = p.measure_real(profile, [n_threads], schedule=schedule).speedup(
+            n_threads=n_threads
+        )
+        if method == "suit":
+            report = SuitabilityAnalysis().predict(profile, [n_threads])
+            if not len(report):
+                continue
+            pred = report.speedup(n_threads=n_threads)
+        else:
+            pred = p.predict(
+                profile,
+                threads=[n_threads],
+                schedules=[schedule],
+                methods=(method,),
+                memory_model=False,
+            ).speedup(method=method, n_threads=n_threads)
+        errors.append(error_ratio(pred, real))
+    return float(np.mean(errors)), float(np.max(errors))
+
+
+def run_validation():
+    n = sample_count()
+    grid = {}
+    for panel, (pattern, method, t) in {
+        "(a) Test1/8c/FF": ("test1", "ff", 8),
+        "(b) Test1/12c/FF": ("test1", "ff", 12),
+        "(c) Test2/8c/FF": ("test2", "ff", 8),
+        "(d) Test2/12c/FF": ("test2", "ff", 12),
+        "(e) Test2/12c/SYN": ("test2", "syn", 12),
+        "(f) Test2/4c/SUIT": ("test2", "suit", 4),
+    }.items():
+        grid[panel] = _validate(pattern, method, t, n)
+    return grid
+
+
+def test_fig11_validation(benchmark):
+    grid = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    print(banner(f"Figure 11 — validation ({sample_count()} samples/panel)"))
+    print(f"{'panel':<22} {'avg err':>8} {'max err':>8}")
+    for panel, (avg, worst) in grid.items():
+        print(f"{panel:<22} {avg:>8.1%} {worst:>8.1%}")
+
+    avg = {k: v[0] for k, v in grid.items()}
+    # Test1 with the FF is highly accurate (paper: <4% average).
+    assert avg["(a) Test1/8c/FF"] < 0.06
+    assert avg["(b) Test1/12c/FF"] < 0.06
+    # The synthesizer is accurate on Test2 (paper: ~3% average, <=19% max).
+    assert avg["(e) Test2/12c/SYN"] < 0.06
+    assert grid["(e) Test2/12c/SYN"][1] < 0.25
+    # FF degrades on Test2 relative to the synthesizer (paper: ~7% average
+    # with large outliers), and Suitability is clearly worse.
+    assert avg["(d) Test2/12c/FF"] >= avg["(e) Test2/12c/SYN"]
+    assert avg["(f) Test2/4c/SUIT"] > avg["(e) Test2/12c/SYN"]

@@ -1,0 +1,103 @@
+"""Figure 12 — predictions for the eight OmpSCR/NPB benchmarks.
+
+Regenerates every panel: Real (simulated ground truth), Pred (synthesizer,
+no memory model), PredM (synthesizer + burden factors), and Suit
+(Suitability-like, interpolated at non-power-of-two cores, no memory model,
+unsupported for the recursive Cilk benchmarks — shown as ``-``), for 2-12
+cores.  The reproduction targets are the paper's qualitative findings:
+
+- MD/LU/QSort/EP: good predictions without the memory model; burden ≈ 1;
+- FT/CG/MG (and FFT): saturation captured only by PredM;
+- Suitability underestimates LU (inner-loop overhead) and cannot predict
+  the recursive FFT/QSort at all.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALES, THREADS, banner, fmt_row, prophet
+from repro.baselines import SuitabilityAnalysis
+from repro.core.report import error_ratio
+from repro.workloads import PAPER_ORDER, get_workload
+
+
+def run_workload(name: str):
+    p = prophet()
+    wl = get_workload(name, **BENCH_SCALES[name])
+    profile = p.profile(wl.program)
+    real = p.measure_real(profile, THREADS, paradigm=wl.paradigm, schedule=wl.schedule)
+    pred_m = p.predict(
+        profile, THREADS, paradigm=wl.paradigm, schedules=[wl.schedule],
+        methods=("syn",), memory_model=True,
+    )
+    pred = p.predict(
+        profile, THREADS, paradigm=wl.paradigm, schedules=[wl.schedule],
+        methods=("syn",), memory_model=False,
+    )
+    suit_report = SuitabilityAnalysis().predict(profile, THREADS)
+    rows = {
+        "Real": [real.speedup(n_threads=t) for t in THREADS],
+        "PredM": [pred_m.speedup(n_threads=t) for t in THREADS],
+        "Pred": [pred.speedup(n_threads=t) for t in THREADS],
+        "Suit": (
+            [suit_report.speedup(n_threads=t) for t in THREADS]
+            if len(suit_report)
+            else ["-"] * len(THREADS)
+        ),
+    }
+    return wl, rows
+
+
+def _print_panel(idx: int, wl, rows) -> None:
+    from repro.core.asciiplot import speedup_chart
+
+    print(banner(f"Fig. 12({chr(ord('a') + idx)}) {wl.name}: {wl.input_label}"))
+    print(fmt_row("series", [f"{t}-core" for t in THREADS]))
+    for label in ("Real", "Pred", "PredM", "Suit"):
+        print(fmt_row(label, rows[label]))
+    plottable = {
+        k: rows[k]
+        for k in ("Real", "Pred", "PredM")
+        if all(isinstance(v, (int, float)) for v in rows[k])
+    }
+    print()
+    print(speedup_chart(plottable, THREADS, height=10))
+
+
+def test_fig12_all_benchmarks(benchmark):
+    def run_all():
+        return {name: run_workload(name) for name in PAPER_ORDER}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for idx, name in enumerate(PAPER_ORDER):
+        wl, rows = results[name]
+        _print_panel(idx, wl, rows)
+
+    # --- cross-benchmark assertions (the paper's qualitative findings) ----
+    def real12(name):
+        return results[name][1]["Real"][-1]
+
+    def predm12(name):
+        return results[name][1]["PredM"][-1]
+
+    # PredM within ~30% of Real everywhere (paper's accuracy band).
+    for name in PAPER_ORDER:
+        assert error_ratio(predm12(name), real12(name)) < 0.30, name
+
+    # Compute-bound benchmarks scale near-linearly; memory-bound saturate.
+    assert real12("ompscr_md") > 10.0
+    assert real12("npb_ep") > 10.0
+    assert real12("npb_ft") < 6.0
+    assert real12("npb_mg") < 6.5
+    assert real12("npb_cg") < 7.0
+
+    # Pred (no memory model) overestimates the memory-bound trio badly.
+    for name in ("npb_ft", "npb_cg", "npb_mg"):
+        assert results[name][1]["Pred"][-1] > 1.8 * real12(name), name
+
+    # Suitability: no prediction for the recursive Cilk benchmarks...
+    assert results["ompscr_fft"][1]["Suit"][0] == "-"
+    assert results["ompscr_qsort"][1]["Suit"][0] == "-"
+    # ...and a strong underestimate for LU (frequent inner loops).
+    lu = results["ompscr_lu"][1]
+    assert lu["Suit"][-1] < 0.75 * lu["Real"][-1]

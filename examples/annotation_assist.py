@@ -1,0 +1,107 @@
+"""Semi-automatic annotation via dependence analysis (paper Section IV-A).
+
+The paper notes annotation "can be made fully or semi-automatic by ...
+dynamic dependence analyses [20]" — SD3, by the same authors.  This example
+walks the full assisted workflow on three candidate loops:
+
+1. profile each loop's memory accesses (strided sets, SD3-style);
+2. classify cross-iteration dependences (flow / anti / output, reductions);
+3. take the suggester's annotation advice;
+4. apply it and let Parallel Prophet predict the payoff.
+
+Run:  python examples/annotation_assist.py
+"""
+
+from repro import ParallelProphet, WESTMERE_12
+from repro.depend import (
+    LoopDependenceProfiler,
+    Parallelizability,
+    StrideRange,
+    suggest,
+)
+
+N = 32
+A_BASE, B_BASE, SUM_CELL = 0x10000, 0x20000, 0x30000
+ROW_BYTES = 8 * N
+
+
+def analyze_stencil_rows():
+    """for i: b[i][:] = f(a[i][:]) — independent rows: DOALL."""
+    dp = LoopDependenceProfiler("stencil_rows")
+    for i in range(N):
+        with dp.iteration():
+            dp.read(StrideRange.block(A_BASE + i * ROW_BYTES, N, 8))
+            dp.write(StrideRange.block(B_BASE + i * ROW_BYTES, N, 8))
+    return dp.finish()
+
+
+def analyze_dot_product():
+    """for i: total += a[i] * b[i] — a reduction."""
+    dp = LoopDependenceProfiler("dot_product")
+    for i in range(N):
+        with dp.iteration():
+            dp.read(StrideRange.single(A_BASE + 8 * i))
+            dp.read(StrideRange.single(B_BASE + 8 * i))
+            dp.read(StrideRange.single(SUM_CELL))
+            dp.write(StrideRange.single(SUM_CELL))
+    return dp.finish()
+
+
+def analyze_prefix_sum():
+    """for i: a[i] += a[i-1] — a loop-carried recurrence: serial."""
+    dp = LoopDependenceProfiler("prefix_sum")
+    for i in range(N):
+        with dp.iteration():
+            if i > 0:
+                dp.read(StrideRange.single(A_BASE + 8 * (i - 1)))
+            dp.read(StrideRange.single(A_BASE + 8 * i))
+            dp.write(StrideRange.single(A_BASE + 8 * i))
+    return dp.finish()
+
+
+def main() -> None:
+    print("=== step 1-3: dependence analysis and annotation advice ===\n")
+    advices = {}
+    for report in (analyze_stencil_rows(), analyze_dot_product(), analyze_prefix_sum()):
+        advice = suggest(report)
+        advices[report.loop_name] = advice
+        print(advice.summary())
+        print()
+
+    assert advices["stencil_rows"].verdict is Parallelizability.DOALL
+    assert advices["dot_product"].verdict is Parallelizability.REDUCTION
+    assert advices["prefix_sum"].verdict is Parallelizability.SERIAL
+
+    print("=== step 4: apply the advice and predict ===\n")
+
+    def annotated_program(tr):
+        # stencil_rows: DOALL section, as advised.
+        with tr.section("stencil_rows"):
+            for _i in range(N):
+                with tr.task():
+                    tr.compute(60_000)
+        # dot_product: DOALL + lock around the accumulator, as advised.
+        with tr.section("dot_product"):
+            for _i in range(N):
+                with tr.task():
+                    tr.compute(20_000)
+                    with tr.lock(1):
+                        tr.compute(400)
+        # prefix_sum: left serial, as advised.
+        tr.compute(N * 15_000)
+
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(annotated_program)
+    report = prophet.predict(profile, threads=[2, 4, 8, 12], memory_model=False)
+    print(report.to_table())
+
+    est = report.one(method="syn", n_threads=12)
+    print("\nper-section speedups at 12 threads:")
+    for name, s in est.sections.items():
+        print(f"  {name:<14} {s:5.2f}x")
+    print(f"\noverall: {est.speedup:.2f}x — capped by the serial prefix_sum "
+          "(Amdahl), exactly what the dependence analysis predicted.")
+
+
+if __name__ == "__main__":
+    main()

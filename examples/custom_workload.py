@@ -1,0 +1,87 @@
+"""Authoring a custom annotated workload.
+
+Shows the full annotation vocabulary on a made-up image pipeline:
+per-frame parallel tile processing (imbalanced), a shared histogram lock,
+a nested parallel reduction, and declared memory behaviour via MemSpec —
+then answers "is it worth parallelizing, and with which paradigm?".
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import ParallelProphet, WESTMERE_12
+from repro.baselines import amdahl_speedup
+from repro.simhw.memtrace import AccessPattern, MemSpec
+
+
+FRAMES = 4
+TILES = 24
+TILE_BYTES = 2_000_000  # 2 MB per tile: frames stream through the LLC
+
+
+def image_pipeline(tr):
+    for frame in range(FRAMES):
+        tr.compute(150_000)  # serial decode
+        with tr.section("tiles"):
+            for tile in range(TILES):
+                with tr.task(f"f{frame}t{tile}"):
+                    # Filter pass: cost varies with tile content; streams
+                    # the tile once.
+                    tr.compute(
+                        400_000 + 60_000 * (tile % 5),
+                        mem=MemSpec(
+                            AccessPattern.STREAMING, bytes_touched=TILE_BYTES
+                        ),
+                    )
+                    # Histogram update under a shared lock.
+                    with tr.lock(1):
+                        tr.compute(4_000)
+                    # Nested parallel sharpen over sub-blocks.
+                    with tr.section("subblocks"):
+                        for _ in range(4):
+                            with tr.task():
+                                tr.compute(30_000)
+        tr.compute(80_000)  # serial encode
+
+
+def main() -> None:
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(image_pipeline)
+
+    serial_fraction = profile.tree.serial_fraction()
+    print(f"serial fraction: {serial_fraction:.1%} "
+          f"(Amdahl ceiling at 12 threads: "
+          f"{amdahl_speedup(serial_fraction, 12):.1f}x)")
+
+    threads = [2, 4, 8, 12]
+    print("\nOpenMP (dynamic,1) vs Cilk work stealing (synthesizer + memory):")
+    omp = prophet.predict(
+        profile, threads, paradigm="omp", schedules=["dynamic,1"],
+        methods=("syn",),
+    )
+    cilk = prophet.predict(
+        profile, threads, paradigm="cilk", methods=("syn",),
+    )
+    real_omp = prophet.measure_real(profile, threads, schedule="dynamic,1")
+    real_cilk = prophet.measure_real(profile, threads, paradigm="cilk")
+    print(f"  {'threads':>8} {'omp':>7} {'real':>7} {'cilk':>7} {'real':>7}")
+    for t in threads:
+        print(
+            f"  {t:>8}"
+            f" {omp.speedup(method='syn', n_threads=t):>7.2f}"
+            f" {real_omp.speedup(n_threads=t):>7.2f}"
+            f" {cilk.speedup(method='syn', n_threads=t):>7.2f}"
+            f" {real_cilk.speedup(n_threads=t):>7.2f}"
+        )
+
+    print("\nper-section diagnosis at 12 threads:")
+    est = omp.one(method="syn", n_threads=12)
+    for name, speedup in est.sections.items():
+        beta = profile.burden_for(name, 12)
+        print(f"  {name:<10} section speedup {speedup:5.2f}x, burden {beta:.2f}")
+    print("\nverdict: worth parallelizing — nested sections favour Cilk, and "
+          "streaming tiles start to press on memory bandwidth at high "
+          "thread counts.")
+
+
+if __name__ == "__main__":
+    main()

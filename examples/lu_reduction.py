@@ -1,0 +1,64 @@
+"""Inner-loop parallelism and schedule choice: the LU reduction case.
+
+The paper's Fig. 1(a) motivating example: only the *inner* loop of LU
+reduction is parallelizable, its trip count shrinks every outer iteration
+(diagonal imbalance), and the parallel region is re-entered size-1 times, so
+fork/join overhead recurs constantly.  Questions a programmer would ask
+before parallelizing — answered here before writing any parallel code:
+
+- which OpenMP schedule should I use?
+- how much does the frequent inner-loop fork/join cost me?
+- why does Intel Advisor's Suitability underestimate this loop?
+
+Run:  python examples/lu_reduction.py
+"""
+
+from repro import ParallelProphet, WESTMERE_12
+from repro.baselines import SuitabilityAnalysis
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    lu = get_workload("ompscr_lu", size=96)
+    print(f"workload: {lu.description} ({lu.input_label})")
+
+    profile = prophet.profile(lu.program)
+    n_sections = len(profile.tree.top_level_sections())
+    print(f"  {n_sections} parallel inner-loop activations recorded")
+    print(f"  tree: {profile.tree.logical_nodes()} logical nodes, "
+          f"{profile.tree.unique_nodes()} stored "
+          f"({profile.compression.reduction:.0%} compressed)")
+
+    threads = [2, 4, 8, 12]
+    print("\nschedule comparison (synthesizer prediction):")
+    report = prophet.predict(
+        profile,
+        threads=threads,
+        schedules=["static", "static,1", "dynamic,1"],
+        methods=("syn",),
+    )
+    print(report.to_table())
+
+    best = max(
+        ("static", "static,1", "dynamic,1"),
+        key=lambda s: report.speedup(method="syn", schedule=s, n_threads=12),
+    )
+    print(f"\n=> best schedule at 12 threads: {best}.")
+    print("   (LU's inner iterations are uniform *within* a section, so the "
+          "schedules nearly tie here; dynamic,1 pays its per-chunk dispatch "
+          "cost on the short late sections.)")
+
+    print("\nground truth vs the Suitability-like baseline (static,1):")
+    real = prophet.measure_real(profile, threads, schedule="static,1")
+    suit = SuitabilityAnalysis().predict(profile, threads)
+    for t in threads:
+        print(f"  {t:2d} threads: real {real.speedup(n_threads=t):5.2f}x, "
+              f"prophet {report.speedup(method='syn', schedule='static,1', n_threads=t):5.2f}x, "
+              f"suitability {suit.speedup(n_threads=t):5.2f}x")
+    print("Suitability's inflated per-region overhead model punishes the "
+          "frequent inner loop — the paper's Section VII-C observation.")
+
+
+if __name__ == "__main__":
+    main()

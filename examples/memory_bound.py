@@ -1,0 +1,60 @@
+"""Predicting memory-limited speedup saturation (the paper's Fig. 2).
+
+NPB-FT streams an 850 MB array through the memory system every FFT pass.
+A memory-blind predictor promises near-linear scaling; the real code
+saturates near 4.5x as DRAM bandwidth fills.  Parallel Prophet's burden
+factors — computed from *serial-run* hardware counters plus a one-off
+machine calibration — predict the saturation before any parallel code
+exists.
+
+Run:  python examples/memory_bound.py
+"""
+
+from repro import ParallelProphet, WESTMERE_12
+from repro.core.memmodel import classify_memory_behavior
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    prophet = ParallelProphet(machine=WESTMERE_12)
+
+    print("calibrating the machine's memory model (Eqs. 6-7)...")
+    cal = prophet.calibration([2, 4, 6, 8, 10, 12])
+    print(cal.summary())
+
+    ft = get_workload("npb_ft")
+    print(f"\nworkload: {ft.description} ({ft.input_label})")
+    profile = prophet.profile(ft.program)
+
+    print("\nper-section serial counters -> classification (Table IV):")
+    for name, sc in profile.sections.items():
+        traffic = sc.traffic_mbs(WESTMERE_12)
+        level, verdict = classify_memory_behavior(traffic, WESTMERE_12)
+        print(f"  {name:<10} MPI={sc.mpi:.4f}  traffic={traffic:6.0f} MB/s"
+              f"  -> {level.value}: {verdict}")
+
+    threads = [2, 4, 6, 8, 10, 12]
+    pred_blind = prophet.predict(profile, threads, memory_model=False)
+    pred_mem = prophet.predict(profile, threads, memory_model=True)
+    real = prophet.measure_real(profile, threads)
+
+    print("\nburden factors per thread count:")
+    sec = next(iter(profile.sections))
+    print("  " + "  ".join(
+        f"{t}:{profile.burden_for(sec, t):.2f}" for t in threads
+    ))
+
+    print(f"\n  {'threads':>8} {'blind':>7} {'with-mem':>9} {'real':>7}")
+    for t in threads:
+        print(
+            f"  {t:>8}"
+            f" {pred_blind.speedup(method='syn', n_threads=t):>7.2f}"
+            f" {pred_mem.speedup(method='syn', n_threads=t):>9.2f}"
+            f" {real.speedup(n_threads=t):>7.2f}"
+        )
+    print("\nthe memory-blind prediction keeps climbing; the burden-factor "
+          "prediction saturates with the real machine — Fig. 2 reproduced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Pipeline parallelism (the paper's Section VII-E extension).
+
+The paper notes that "pipelining can be easily supported by extending
+annotations [23] and the emulation algorithm" — this reproduction implements
+it.  A video-transcoder-like loop (decode -> filter -> encode) cannot be
+parallelized as independent iterations (the encoder is stateful), but it
+*can* be pipelined: stages bound to threads, iterations streaming through.
+
+The predictor answers the two questions that matter before writing the
+pipeline: what's the steady-state speedup (bounded by the bottleneck
+stage), and how many threads are worth using (no more than the number of
+stage clusters)?
+
+Run:  python examples/pipeline_parallelism.py
+"""
+
+from repro import ParallelProphet, WESTMERE_12
+from repro.runtime import RuntimeOverheads
+
+FRAMES = 48
+STAGES = {  # cycles per frame
+    "decode": 180_000,
+    "filter1": 240_000,
+    "filter2": 120_000,
+    "encode": 300_000,  # the stateful bottleneck
+}
+
+
+def transcoder(tr):
+    with tr.section("frames", pipeline=True):
+        for _f in range(FRAMES):
+            with tr.task():
+                for _name, cost in STAGES.items():
+                    with tr.stage(_name):
+                        tr.compute(cost)
+
+
+def main() -> None:
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(transcoder)
+
+    serial_per_frame = sum(STAGES.values())
+    bottleneck = max(STAGES.values())
+    print(f"serial cost per frame: {serial_per_frame / 1e3:.0f} kcycles; "
+          f"bottleneck stage (encode): {bottleneck / 1e3:.0f} kcycles")
+    print(f"theoretical steady-state ceiling: "
+          f"{serial_per_frame / bottleneck:.2f}x\n")
+
+    threads = [1, 2, 3, 4, 6, 8]
+    report = prophet.predict(
+        profile, threads=threads, methods=("ff", "syn"), memory_model=False
+    )
+    real = prophet.measure_real(profile, threads)
+
+    print(f"  {'threads':>8} {'FF':>7} {'SYN':>7} {'real':>7}")
+    for t in threads:
+        print(
+            f"  {t:>8}"
+            f" {report.speedup(method='ff', n_threads=t):>7.2f}"
+            f" {report.speedup(method='syn', n_threads=t):>7.2f}"
+            f" {real.speedup(n_threads=t):>7.2f}"
+        )
+
+    print("\nthe speedup plateaus once every stage cluster is bottlenecked "
+          "by 'encode' — adding threads beyond that point buys nothing, "
+          "which is exactly what a programmer needs to know in advance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline environment without the
+``wheel`` package; ``pip install -e . --no-build-isolation`` uses this)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Parallel Prophet — speedup prediction for annotated serial programs.
+
+A faithful, fully self-contained reproduction of
+
+    Minjang Kim, Pranith Kumar, Hyesoon Kim, Bevin Brett,
+    "Predicting Potential Speedup of Serial Code via Lightweight Profiling
+    and Emulations with Memory Performance Model", IPDPS 2012.
+
+The package layers:
+
+- :mod:`repro.simhw` — simulated hardware (cycle clock, LLC, DRAM contention
+  model, PAPI-like counters): the stand-in for the paper's 12-core Westmere.
+- :mod:`repro.simos` — deterministic discrete-event OS kernel (preemptive
+  round-robin scheduler, mutexes, barriers, events).
+- :mod:`repro.runtime` — OpenMP-like and Cilk-like parallel runtimes running
+  on the simulated OS.
+- :mod:`repro.core` — the paper's contribution: annotations, interval
+  profiling into a program tree, tree compression, the fast-forward and
+  program-synthesis emulators, the burden-factor memory model, and the
+  top-level :class:`~repro.core.prophet.ParallelProphet` API.
+- :mod:`repro.baselines` — Amdahl-family analytical models plus
+  Suitability-like and Kismet-like comparison predictors.
+- :mod:`repro.workloads` — annotated serial programs mirroring the paper's
+  OmpSCR and NPB benchmarks plus the Test1/Test2 validation generators.
+
+Quickstart::
+
+    from repro import ParallelProphet, WESTMERE_12
+    from repro.workloads import get_workload
+
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(get_workload("npb_ft").build())
+    report = prophet.predict(profile, threads=[2, 4, 6, 8, 10, 12])
+    print(report.to_table())
+"""
+
+from repro.errors import (
+    AnnotationError,
+    CalibrationError,
+    ConfigurationError,
+    DeadlockError,
+    EmulationError,
+    ReproError,
+    SimulationError,
+)
+from repro.simhw import MachineConfig, WESTMERE_12
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MachineConfig",
+    "WESTMERE_12",
+    "ReproError",
+    "AnnotationError",
+    "SimulationError",
+    "DeadlockError",
+    "ConfigurationError",
+    "CalibrationError",
+    "EmulationError",
+    "ParallelProphet",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: ParallelProphet pulls in the full core stack; keep the
+    # top-level import light for users who only need simhw/simos pieces.
+    if name == "ParallelProphet":
+        from repro.core.prophet import ParallelProphet
+
+        return ParallelProphet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

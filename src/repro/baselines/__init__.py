@@ -1,0 +1,37 @@
+"""Comparison predictors (paper Sections II and III, Table I).
+
+- :mod:`repro.baselines.amdahl` — analytical models: Amdahl's law,
+  Gustafson's law, the Karp-Flatt metric, and the Eyerman-Eeckhout critical
+  section extension.
+- :mod:`repro.baselines.kismet` — a Kismet-style hierarchical critical-path
+  upper bound ("estimates only an upper bound of the speedup, so it cannot
+  predict speedup saturation").
+- :mod:`repro.baselines.suitability` — a Suitability-style emulator: the
+  fast-forward approach with the limitations the paper observes in Intel
+  Parallel Advisor's out-of-the-box tool (schedule fixed near ``dynamic,1``,
+  power-of-two thread counts with interpolation, inflated inner-loop region
+  overhead, no memory model, no recursion support).
+"""
+
+from repro.baselines.amdahl import (
+    amdahl_speedup,
+    gustafson_speedup,
+    hill_marty_speedup,
+    karp_flatt_metric,
+    eyerman_eeckhout_speedup,
+)
+from repro.baselines.cilkview import CilkviewAnalyzer, ScalabilityProfile
+from repro.baselines.kismet import KismetEstimator
+from repro.baselines.suitability import SuitabilityAnalysis
+
+__all__ = [
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "hill_marty_speedup",
+    "karp_flatt_metric",
+    "eyerman_eeckhout_speedup",
+    "KismetEstimator",
+    "SuitabilityAnalysis",
+    "CilkviewAnalyzer",
+    "ScalabilityProfile",
+]

@@ -1,0 +1,109 @@
+"""Analytical speedup models (paper Section II-A).
+
+These closed-form models are the classical comparison points the paper cites:
+"effective in obtaining an ideal limit to parallelization benefit" but "not
+explicitly designed to predict parallel speedup practically".  They are used
+by the Table I bench and as sanity bounds in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _check_threads(n_threads: int) -> None:
+    if n_threads < 1:
+        raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+
+
+def amdahl_speedup(serial_fraction: float, n_threads: int) -> float:
+    """Amdahl's law [5]: S = 1 / (s + (1 − s)/t)."""
+    _check_fraction("serial_fraction", serial_fraction)
+    _check_threads(n_threads)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n_threads)
+
+
+def gustafson_speedup(serial_fraction: float, n_threads: int) -> float:
+    """Gustafson's law [12]: scaled speedup S = s + (1 − s)·t, where s is
+    the serial fraction *of the parallel execution*."""
+    _check_fraction("serial_fraction", serial_fraction)
+    _check_threads(n_threads)
+    return serial_fraction + (1.0 - serial_fraction) * n_threads
+
+
+def karp_flatt_metric(speedup: float, n_threads: int) -> float:
+    """Karp-Flatt experimentally determined serial fraction [19]:
+    e = (1/S − 1/t) / (1 − 1/t).  Undefined at t = 1."""
+    _check_threads(n_threads)
+    if n_threads == 1:
+        raise ConfigurationError("Karp-Flatt metric is undefined for t = 1")
+    if speedup <= 0:
+        raise ConfigurationError(f"speedup must be > 0, got {speedup!r}")
+    return (1.0 / speedup - 1.0 / n_threads) / (1.0 - 1.0 / n_threads)
+
+
+def hill_marty_speedup(
+    serial_fraction: float,
+    n_bces: int,
+    core_size: int,
+) -> float:
+    """Hill-Marty "Amdahl's law in the multicore era" [14], symmetric case.
+
+    A chip budget of ``n_bces`` base-core equivalents is spent on
+    ``n_bces / core_size`` cores, each of ``core_size`` BCEs with single-
+    thread performance ``perf(r) = sqrt(r)``:
+
+        S = 1 / ( s / perf(r) + (1 − s) · r / (perf(r) · n) )
+    """
+    _check_fraction("serial_fraction", serial_fraction)
+    if n_bces < 1 or core_size < 1:
+        raise ConfigurationError("n_bces and core_size must be >= 1")
+    if core_size > n_bces:
+        raise ConfigurationError("core_size cannot exceed the BCE budget")
+    s = serial_fraction
+    r = float(core_size)
+    perf = r**0.5
+    time = s / perf + (1.0 - s) * r / (perf * n_bces)
+    return 1.0 / time
+
+
+def eyerman_eeckhout_speedup(
+    serial_fraction: float,
+    critical_fraction: float,
+    contention_probability: float,
+    n_threads: int,
+) -> float:
+    """Eyerman-Eeckhout extension of Amdahl's law for critical sections [10].
+
+    The model splits the parallel part into non-critical work and critical
+    sections.  A fraction ``critical_fraction`` (f_cs) of total work executes
+    inside critical sections, and with probability ``contention_probability``
+    (p_ctn) a critical-section entry contends and serialises.  Following the
+    paper's formulation, the critical-section time behaves as
+
+        f_cs · (1 − p_ctn) / t  +  f_cs · p_ctn
+
+    i.e. contended critical work is fully serialised while uncontended
+    critical work scales.  Total time relative to serial = 1:
+
+        T(t) = s + (1 − s − f_cs)/t + f_cs·(1 − p_ctn)/t + f_cs·p_ctn
+    """
+    _check_fraction("serial_fraction", serial_fraction)
+    _check_fraction("critical_fraction", critical_fraction)
+    _check_fraction("contention_probability", contention_probability)
+    _check_threads(n_threads)
+    if serial_fraction + critical_fraction > 1.0 + 1e-12:
+        raise ConfigurationError(
+            "serial_fraction + critical_fraction must not exceed 1"
+        )
+    s = serial_fraction
+    f_cs = critical_fraction
+    p = contention_probability
+    t = float(n_threads)
+    time = s + (1.0 - s - f_cs) / t + f_cs * (1.0 - p) / t + f_cs * p
+    return 1.0 / time

@@ -1,0 +1,135 @@
+"""Cilkview-style scalability analysis (paper Section II-B, Table I row 1).
+
+Cilkview [13] differs from every other tool in Table I: it takes an
+*already-parallelized* Cilk program and reports its scalability envelope
+from work/span analysis — it does not predict speedups from serial code.
+This reimplementation makes the same measurement on a program tree (which
+encodes the parallel structure the annotations describe, i.e. the program
+*after* parallelization):
+
+- **work** T₁ — total instructions/cycles;
+- **span** T∞ — the longest dependence chain, treating a section's tasks as
+  parallel and a task's children as sequential;
+- **parallelism** T₁/T∞ — the speedup ceiling;
+- **burdened span** — the span with per-spawn/steal overhead added, giving
+  Cilkview's characteristic *lower* bound on expected speedup;
+- speedup estimate range on P processors:
+  ``[T₁ / (burdened_T₁/P + burdened_span), min(P, T₁/T∞)]``.
+
+Like the original, it knows nothing about memory contention — the "x" in
+Table I's memory column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import ProgramProfile
+from repro.core.tree import Node, NodeKind
+from repro.errors import EmulationError
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+
+
+@dataclass(frozen=True)
+class ScalabilityProfile:
+    """Cilkview's headline numbers for one program."""
+
+    work: float
+    span: float
+    burdened_span: float
+    spawns: int
+
+    @property
+    def parallelism(self) -> float:
+        return self.work / self.span if self.span > 0 else 1.0
+
+    @property
+    def burdened_parallelism(self) -> float:
+        return self.work / self.burdened_span if self.burdened_span > 0 else 1.0
+
+    def speedup_upper_bound(self, n_workers: int) -> float:
+        """min(P, T1/T∞) — the work and span laws."""
+        return min(float(n_workers), self.parallelism)
+
+    def speedup_lower_bound(self, n_workers: int) -> float:
+        """Cilkview's burdened-dag estimate: T1 / (T1/P + burdened span)."""
+        if self.work <= 0:
+            return 1.0
+        return self.work / (self.work / n_workers + self.burdened_span)
+
+    def estimate_range(self, n_workers: int) -> tuple[float, float]:
+        """Cilkview's (lower, upper) speedup estimate band."""
+        return (
+            self.speedup_lower_bound(n_workers),
+            self.speedup_upper_bound(n_workers),
+        )
+
+
+class CilkviewAnalyzer:
+    """Work/span analysis over program trees."""
+
+    def __init__(self, overheads: RuntimeOverheads = DEFAULT_OVERHEADS) -> None:
+        self.overheads = overheads
+        self._spawns = 0
+
+    def analyze(self, profile: ProgramProfile) -> ScalabilityProfile:
+        """Scalability numbers for a whole program (tree = the parallelized
+        program's dag, which is what Cilkview instruments at run time)."""
+        self._spawns = 0
+        work = profile.tree.serial_cycles()
+        span = 0.0
+        burdened = 0.0
+        for child in profile.tree.root.children:
+            if child.kind is NodeKind.U:
+                span += child.length * child.repeat
+                burdened += child.length * child.repeat
+            elif child.kind is NodeKind.SEC:
+                s, b = self._section_span(child)
+                span += s * child.repeat
+                burdened += b * child.repeat
+            else:  # pragma: no cover - validated trees
+                raise EmulationError(f"unexpected top-level node {child!r}")
+        return ScalabilityProfile(
+            work=work, span=span, burdened_span=burdened, spawns=self._spawns
+        )
+
+    # -- spans ------------------------------------------------------------
+
+    def _section_span(self, sec: Node) -> tuple[float, float]:
+        """(span, burdened span) of one section activation: parallel tasks
+        -> max over children; each spawned task charges a spawn burden."""
+        if not sec.children:
+            return 0.0, 0.0
+        spans, burdens = [], []
+        per_spawn = self.overheads.cilk_spawn + self.overheads.cilk_steal
+        n_logical = 0
+        for task in sec.children:
+            s, b = self._task_span(task)
+            spans.append(s)
+            burdens.append(b)
+            self._spawns += task.repeat
+            n_logical += task.repeat
+        # The burdened dag charges the spawn/steal chain on the critical
+        # path: binary range splitting makes it ~log2(n) spawns deep.
+        depth = max(1, n_logical - 1).bit_length()
+        return max(spans), max(burdens) + per_spawn * depth
+
+    def _task_span(self, node: Node) -> tuple[float, float]:
+        """(span, burdened span) of a task/stage: children sequential."""
+        span = 0.0
+        burdened = 0.0
+        for child in node.children:
+            if child.is_leaf:
+                span += child.length * child.repeat
+                burdened += child.length * child.repeat
+            elif child.kind is NodeKind.SEC:
+                s, b = self._section_span(child)
+                span += s * child.repeat
+                burdened += b * child.repeat
+            elif child.kind is NodeKind.STAGE:
+                s, b = self._task_span(child)
+                span += s * child.repeat
+                burdened += b * child.repeat
+            else:  # pragma: no cover - validated trees
+                raise EmulationError(f"unexpected node {child!r}")
+        return span, burdened

@@ -1,0 +1,87 @@
+"""Kismet-style upper-bound estimator (paper Section II-B).
+
+Kismet [17] performs hierarchical critical path analysis [11] on an
+*unmodified* serial program and "estimates only an upper bound of the
+speedup, so it cannot predict speedup saturation".  This reimplementation
+applies the same idea to the program tree: per parallel section the
+achievable parallel time is bounded below by both the critical path (the
+longest chain of work that cannot be split) and the work law (total work
+divided by the number of processors); no scheduling, runtime-overhead, or
+memory effects are modelled, so the estimate is optimistic by construction —
+which is what Table I and Fig. 12's comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import ProgramProfile
+from repro.core.report import SpeedupEstimate, SpeedupReport
+from repro.core.tree import Node, NodeKind
+from repro.errors import EmulationError
+
+
+class KismetEstimator:
+    """Work/critical-path upper bound over a program tree."""
+
+    #: Kismet instruments memory instructions; the paper reports "100+×"
+    #: slowdowns.  Exposed as a constant so the Table I bench can report it.
+    TYPICAL_SLOWDOWN = 100.0
+
+    def predict(self, profile: ProgramProfile, threads: list[int]) -> SpeedupReport:
+        """Upper-bound speedups for each thread count."""
+        report = SpeedupReport()
+        for t in threads:
+            total = 0.0
+            for child in profile.tree.root.children:
+                if child.kind is NodeKind.U:
+                    total += child.length * child.repeat
+                elif child.kind is NodeKind.SEC:
+                    total += child.repeat * self._section_bound(child, t)
+                else:  # pragma: no cover - validated trees
+                    raise EmulationError(f"unexpected top-level node {child!r}")
+            serial = profile.tree.serial_cycles()
+            report.add(
+                SpeedupEstimate(
+                    method="kismet",
+                    paradigm="any",
+                    schedule="-",
+                    n_threads=t,
+                    speedup=serial / total if total > 0 else 1.0,
+                )
+            )
+        return report
+
+    # -- bounds ---------------------------------------------------------------
+
+    def _section_bound(self, sec: Node, n_threads: int) -> float:
+        """Lower bound on the parallel time of one section activation:
+        max(work / t, critical path)."""
+        work = sec.subtree_length() / sec.repeat
+        cp = self._critical_path(sec, n_threads)
+        return max(work / n_threads, cp)
+
+    def _critical_path(self, node: Node, n_threads: int) -> float:
+        """Length of one activation's critical path, treating every task of
+        a section as perfectly parallel (self-parallelism à la Kismet)."""
+        if node.is_leaf:
+            return node.length
+        if node.kind is NodeKind.SEC:
+            # Tasks run concurrently: the path is the longest task; but the
+            # section cannot beat its own work law on t processors.
+            longest = max(
+                (self._task_path(task, n_threads) for task in node.children),
+                default=0.0,
+            )
+            work_law = (node.subtree_length() / node.repeat) / n_threads
+            return max(longest, work_law)
+        if node.kind in (NodeKind.TASK, NodeKind.ROOT, NodeKind.STAGE):
+            # STAGE children run sequentially, like a task's (Kismet knows
+            # nothing of pipelines; its bound stays an upper bound).
+            return self._task_path(node, n_threads)
+        raise EmulationError(f"unexpected node {node!r}")  # pragma: no cover
+
+    def _task_path(self, task: Node, n_threads: int) -> float:
+        """A task's children run sequentially: paths add (× their repeats)."""
+        return sum(
+            self._critical_path(child, n_threads) * child.repeat
+            for child in task.children
+        )

@@ -1,0 +1,117 @@
+"""Suitability-style emulator (paper Sections II-B, III, VII).
+
+Intel Parallel Advisor's Suitability analysis is the closest prior tool: it
+also consumes an annotated serial program and emulates a model of the
+parallel-region tree with a priority-queue interpreter.  The paper observes
+four out-of-the-box limitations, all reproduced here:
+
+1. *No schedule modelling*: "Suitability does not provide speedup
+   predictions for a specific scheduling.  Our experience shows that the
+   emulator of Suitability is close to the OpenMP's (dynamic,1)" — so this
+   emulator always runs ``dynamic,1`` regardless of the schedule requested.
+2. *Power-of-two thread counts*: the tool predicts for 2^N CPUs only;
+   "the predictions of Suitability for 6/10/12 cores are interpolated"
+   (Fig. 12 caption).
+3. *Inflated inner-loop overhead*: for LU "a reason would be the fact that
+   LU-OMP has a frequent parallelized inner loop, overestimating the
+   parallel overhead" — nested region fork/join costs are multiplied by
+   :data:`INNER_LOOP_OVERHEAD_FACTOR`.
+4. *No recursion support and no memory model*: recursion deeper than
+   :data:`MAX_NESTING` yields no meaningful prediction (FFT-Cilk in the
+   paper), and burden factors are never applied.
+
+Like the FF (Section IV-D), it maps nested tasks to logical CPUs
+non-preemptively, so it shares the Fig. 7 misprediction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.profiler import ProgramProfile
+from repro.core.report import SpeedupEstimate, SpeedupReport
+from repro.core.tree import Node, NodeKind
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+from repro.runtime.tasks import Schedule
+
+#: Multiplier applied to region fork/join overheads (limitation 3).
+INNER_LOOP_OVERHEAD_FACTOR = 6.0
+
+#: Maximum supported section-nesting depth (limitation 4); the paper found
+#: Suitability "unable to provide meaningful predictions" for recursive FFT.
+MAX_NESTING = 3
+
+
+class SuitabilityAnalysis:
+    """A Suitability-like speedup predictor over program profiles."""
+
+    def __init__(self, overheads: RuntimeOverheads = DEFAULT_OVERHEADS) -> None:
+        self.overheads = overheads.with_(
+            omp_fork_base=overheads.omp_fork_base * INNER_LOOP_OVERHEAD_FACTOR,
+            omp_fork_per_thread=(
+                overheads.omp_fork_per_thread * INNER_LOOP_OVERHEAD_FACTOR
+            ),
+            omp_join_barrier=overheads.omp_join_barrier * INNER_LOOP_OVERHEAD_FACTOR,
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def supports(self, profile: ProgramProfile) -> bool:
+        """False when the tree nests deeper than the tool can emulate."""
+        return self._section_depth(profile.tree.root) <= MAX_NESTING
+
+    def predict(
+        self, profile: ProgramProfile, threads: Sequence[int]
+    ) -> SpeedupReport:
+        """Predict speedups; non-power-of-two thread counts are linearly
+        interpolated between the neighbouring 2^N predictions.
+
+        Returns an empty report when the program is unsupported (deep
+        recursion), matching the tool yielding no meaningful prediction.
+        """
+        report = SpeedupReport()
+        if not self.supports(profile):
+            return report
+        cache: dict[int, float] = {1: 1.0}
+
+        def predicted(p2: int) -> float:
+            if p2 not in cache:
+                cache[p2] = self._emulate(profile, p2)
+            return cache[p2]
+
+        for t in threads:
+            if t >= 1 and (t & (t - 1)) == 0:
+                speedup = predicted(t)
+            else:
+                lo = 2 ** int(math.floor(math.log2(t)))
+                hi = lo * 2
+                w = (t - lo) / (hi - lo)
+                speedup = predicted(lo) * (1 - w) + predicted(hi) * w
+            report.add(
+                SpeedupEstimate(
+                    method="suit",
+                    paradigm="omp",
+                    schedule="(tool)",
+                    n_threads=t,
+                    speedup=speedup,
+                )
+            )
+        return report
+
+    # ------------------------------------------------------------- internals
+
+    def _emulate(self, profile: ProgramProfile, n_threads: int) -> float:
+        ff = FastForwardEmulator(self.overheads)
+        predicted, _ = ff.emulate_profile(
+            profile.tree, n_threads, Schedule.dynamic(1), burdens=None
+        )
+        serial = profile.serial_cycles()
+        return serial / predicted if predicted > 0 else 1.0
+
+    def _section_depth(self, node: Node, depth: int = 0) -> int:
+        here = depth + (1 if node.kind is NodeKind.SEC else 0)
+        if not node.children:
+            return here
+        return max(self._section_depth(c, here) for c in node.children)

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the registered workloads with their paper inputs.
+``profile <workload> [-o profile.json]``
+    Interval-profile a workload; optionally save the profile.
+``predict <workload|profile.json>``
+    Predict speedups (FF + synthesizer, optional memory model) and compare
+    against the simulated ground truth.
+``calibrate``
+    Run the memory-model calibration microbenchmark and print the fitted
+    Ψ/Φ formulas (Eqs. 6-7).
+
+Examples::
+
+    python -m repro list
+    python -m repro predict npb_ft --threads 2,4,6,8,10,12
+    python -m repro profile ompscr_lu -o lu.json
+    python -m repro predict lu.json --schedules static,1 --no-real
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import ParallelProphet
+from repro.core.report import error_ratio
+from repro.core.serialize import load_profile, save_profile
+from repro.simhw.machine import MachineConfig
+from repro.workloads import get_workload, workload_names
+
+
+def _parse_threads(text: str) -> list[int]:
+    return [int(t) for t in text.split(",") if t.strip()]
+
+
+def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(n_cores=args.cores)
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cores", type=int, default=12, help="simulated core count (default 12)"
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``list``: print the registered workloads."""
+    print(f"{'name':<16} {'paradigm':<9} {'input':<12} description")
+    for name in workload_names():
+        wl = get_workload(name)
+        print(f"{name:<16} {wl.paradigm:<9} {wl.input_label:<12} {wl.description}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: interval-profile a workload; optionally save JSON."""
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+    wl = get_workload(args.workload)
+    profile = prophet.profile(wl.program)
+    print(f"profiled {wl.name}: {profile.serial_cycles() / 1e6:.2f} Mcycles serial, "
+          f"{profile.tree.logical_nodes()} logical nodes "
+          f"({profile.tree.unique_nodes()} stored), "
+          f"slowdown {profile.stats.slowdown:.2f}x")
+    for name, sc in profile.sections.items():
+        print(f"  section {name:<14} MPI={sc.mpi:.5f} "
+              f"traffic={sc.traffic_mbs(machine):7.0f} MB/s "
+              f"x{sc.invocations}")
+    if args.output:
+        save_profile(profile, args.output)
+        print(f"saved profile to {args.output}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """``predict``: run the emulators and (optionally) the ground truth."""
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+    threads = _parse_threads(args.threads)
+    schedules = args.schedules.split(";")
+
+    target = args.target
+    if Path(target).suffix == ".json" and Path(target).exists():
+        profile = load_profile(target)
+        paradigm = args.paradigm or "omp"
+        label = target
+    else:
+        wl = get_workload(target)
+        profile = prophet.profile(wl.program)
+        paradigm = args.paradigm or wl.paradigm
+        if args.schedules == "static" and wl.schedule != "static":
+            schedules = [wl.schedule]
+        label = f"{wl.name} ({wl.input_label})"
+
+    print(f"predicting {label} on {machine.n_cores} cores, "
+          f"paradigm={paradigm}, schedules={schedules}")
+    report = prophet.predict(
+        profile,
+        threads=threads,
+        paradigm=paradigm,
+        schedules=schedules,
+        methods=tuple(args.methods.split(",")),
+        memory_model=not args.no_memory_model,
+    )
+    print(report.to_table())
+
+    if not args.no_real:
+        real = prophet.measure_real(
+            profile, threads, paradigm=paradigm, schedule=schedules[0]
+        )
+        print("\nsimulated ground truth vs synthesizer:")
+        for t in threads:
+            r = real.speedup(n_threads=t)
+            candidates = report.get(method="syn", n_threads=t, schedule=schedules[0])
+            if candidates:
+                p = candidates[0].speedup
+                print(f"  {t:2d} threads: real {r:5.2f}x, predicted {p:5.2f}x "
+                      f"(error {error_ratio(p, r):.1%})")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """``diagnose``: per-section bottleneck attribution."""
+    from repro.core.diagnose import BottleneckDiagnoser
+    from repro.runtime.tasks import Schedule
+
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+
+    target = args.target
+    if Path(target).suffix == ".json" and Path(target).exists():
+        profile = load_profile(target)
+        schedule = Schedule.parse(args.schedule)
+        label = target
+    else:
+        wl = get_workload(target)
+        profile = prophet.profile(wl.program)
+        schedule = Schedule.parse(
+            args.schedule if args.schedule != "static" else wl.schedule
+        )
+        label = f"{wl.name} ({wl.input_label})"
+
+    t = args.threads_one
+    prophet.attach_burdens(profile, [t])
+    print(f"diagnosing {label} at {t} threads (schedule {schedule.label}):\n")
+    diagnoser = BottleneckDiagnoser(schedule=schedule)
+    for diag in diagnoser.diagnose(profile, t):
+        print(diag.summary())
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """``calibrate``: print the machine's fitted Eqs. 6-7."""
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+    threads = _parse_threads(args.threads)
+    cal = prophet.calibration(threads)
+    print(cal.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel Prophet: speedup prediction for annotated "
+        "serial programs (IPDPS 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered workloads")
+    p_list.set_defaults(func=cmd_list)
+
+    p_profile = sub.add_parser("profile", help="profile a workload")
+    p_profile.add_argument("workload", help="workload name (see `list`)")
+    p_profile.add_argument("-o", "--output", help="save profile JSON here")
+    _add_machine_args(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_predict = sub.add_parser("predict", help="predict speedups")
+    p_predict.add_argument(
+        "target", help="workload name or saved profile .json path"
+    )
+    p_predict.add_argument(
+        "--threads", default="2,4,6,8,10,12", help="comma-separated counts"
+    )
+    p_predict.add_argument(
+        "--schedules",
+        default="static",
+        help="semicolon-separated OpenMP schedules (e.g. 'static,1;dynamic,1')",
+    )
+    p_predict.add_argument(
+        "--methods", default="ff,syn", help="comma-separated: ff,syn"
+    )
+    p_predict.add_argument("--paradigm", choices=("omp", "cilk", "omp_task"))
+    p_predict.add_argument(
+        "--no-memory-model", action="store_true", help="disable burden factors"
+    )
+    p_predict.add_argument(
+        "--no-real", action="store_true", help="skip the ground-truth replay"
+    )
+    _add_machine_args(p_predict)
+    p_predict.set_defaults(func=cmd_predict)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="attribute per-section speedup loss to causes"
+    )
+    p_diag.add_argument("target", help="workload name or saved profile .json")
+    p_diag.add_argument(
+        "--threads", dest="threads_one", type=int, default=8,
+        help="thread count to diagnose at (default 8)",
+    )
+    p_diag.add_argument("--schedule", default="static")
+    _add_machine_args(p_diag)
+    p_diag.set_defaults(func=cmd_diagnose)
+
+    p_cal = sub.add_parser("calibrate", help="print fitted Psi/Phi formulas")
+    p_cal.add_argument("--threads", default="2,4,8,12")
+    _add_machine_args(p_cal)
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

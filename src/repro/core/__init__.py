@@ -1,0 +1,54 @@
+"""The paper's contribution: annotation API, interval profiler, program tree,
+compression, the two emulators, the memory performance model, and the
+top-level :class:`~repro.core.prophet.ParallelProphet` facade.
+"""
+
+from repro.core.tree import Node, NodeKind, ProgramTree
+from repro.core.annotations import Tracer, AnnotationProgram
+from repro.core.profiler import IntervalProfiler, ProgramProfile, SectionCounters
+from repro.core.compress import compress_tree, CompressionStats
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.synthesizer import Synthesizer
+from repro.core.memmodel import MemoryModel, BurdenTable, classify_memory_behavior
+from repro.core.microbench import CalibrationResult, calibrate_memory_model
+from repro.core.diagnose import BottleneckDiagnoser, SectionDiagnosis
+from repro.core.report import SpeedupEstimate, SpeedupReport
+from repro.core.serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.core.prophet import ParallelProphet
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "ProgramTree",
+    "Tracer",
+    "AnnotationProgram",
+    "IntervalProfiler",
+    "ProgramProfile",
+    "SectionCounters",
+    "compress_tree",
+    "CompressionStats",
+    "FastForwardEmulator",
+    "ParallelExecutor",
+    "ReplayMode",
+    "Synthesizer",
+    "MemoryModel",
+    "BurdenTable",
+    "classify_memory_behavior",
+    "CalibrationResult",
+    "calibrate_memory_model",
+    "SpeedupEstimate",
+    "SpeedupReport",
+    "BottleneckDiagnoser",
+    "SectionDiagnosis",
+    "save_profile",
+    "load_profile",
+    "profile_to_dict",
+    "profile_from_dict",
+    "ParallelProphet",
+]

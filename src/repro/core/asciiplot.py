@@ -1,0 +1,90 @@
+"""Terminal line charts for speedup curves.
+
+The paper's evaluation is figures; the bench harness regenerates their data
+as tables *and* renders them as ASCII charts so the shapes (linearity,
+saturation, crossovers) are visible at a glance in CI logs.  No plotting
+dependency is available offline, so this is a tiny self-contained renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: Series glyphs, assigned in insertion order.
+_MARKS = "ox+*#@%&"
+
+
+def speedup_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[int],
+    height: int = 12,
+    width_per_point: int = 6,
+    y_label: str = "speedup",
+    ideal: bool = True,
+) -> str:
+    """Render speedup-vs-threads curves as an ASCII chart.
+
+    ``series`` maps a label to one y-value per ``x_values`` entry (thread
+    counts).  With ``ideal=True`` the y=x line is drawn with ``.`` as the
+    reference the paper's figures all carry.
+    """
+    names = list(series)
+    if not names or not x_values:
+        return "(no data)"
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+
+    y_max = max(max(v) for v in series.values())
+    if ideal:
+        y_max = max(y_max, float(max(x_values)))
+    y_max = max(y_max, 1.0)
+
+    n_cols = len(x_values) * width_per_point
+    grid = [[" "] * n_cols for _ in range(height)]
+
+    def row_of(y: float) -> int:
+        frac = min(1.0, max(0.0, y / y_max))
+        return int(round((height - 1) * (1.0 - frac)))
+
+    def col_of(idx: int) -> int:
+        return idx * width_per_point + width_per_point // 2
+
+    if ideal:
+        for i, x in enumerate(x_values):
+            grid[row_of(float(x))][col_of(i)] = "."
+
+    # Draw in reverse so the first-listed series (usually "Real") wins
+    # cells where curves overlap.
+    for mark, name in reversed(list(zip(_MARKS, names))):
+        prev: Optional[tuple[int, int]] = None
+        for i, y in enumerate(series[name]):
+            r, c = row_of(y), col_of(i)
+            # Light connecting segments (vertical interpolation midway).
+            if prev is not None:
+                pr, pc = prev
+                mid_c = (pc + c) // 2
+                mid_r = (pr + r) // 2
+                if grid[mid_r][mid_c] == " ":
+                    grid[mid_r][mid_c] = "-"
+            grid[r][c] = mark
+            prev = (r, c)
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_at = y_max * (1.0 - r / (height - 1))
+        axis = f"{y_at:6.1f} |" if r % 2 == 0 else "       |"
+        lines.append(axis + "".join(row))
+    lines.append("       +" + "-" * n_cols)
+    ticks = "".join(f"{x:^{width_per_point}}" for x in x_values)
+    lines.append("        " + ticks + "  threads")
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, names)
+    )
+    if ideal:
+        legend += "   .=ideal"
+    lines.append("        " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Program-tree compression (paper Section VI-B).
+
+A program tree records every loop iteration as a separate node, so trees can
+be huge (the paper reports 10 GB for NPB-IS, and 13.5 GB → 950 MB, a 93 %
+reduction, for NPB-CG).  Two lossless-within-tolerance passes fix this:
+
+1. **Run-length encoding**: consecutive sibling subtrees that are similar —
+   identical structure with leaf lengths within a relative ``tolerance``
+   (the paper allows 5 % variation) — collapse into one node whose
+   ``repeat`` is the run length and whose leaf lengths are the
+   repeat-weighted averages.
+2. **Dictionary sharing**: *exactly* identical subtrees anywhere in the
+   tree are replaced by references to one canonical instance (subtree
+   hash-consing), so repeated call patterns cost one copy.  After the RLE
+   pass has averaged near-identical runs, repeated sections usually become
+   exactly identical, which is what makes this pass effective.
+
+The total tree length is preserved exactly at any tolerance: RLE replaces
+each run by its repeat-weighted average (sum-preserving) and dictionary
+sharing only merges exact duplicates.
+
+When iteration lengths are "extremely hard to compress in a lossless way"
+(the paper's NPB-IS case: random per-iteration work), §VI-B allows lossy
+compression "as a last resort".  :func:`compress_tree_lossy` implements it:
+leaf lengths are quantised onto a relative log-scale grid of width
+``lossy_tolerance`` *before* the lossless passes, so arbitrary same-shape
+iterations collapse.  Each individual leaf moves by at most the tolerance;
+totals drift by at most the same relative bound.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.core.tree import NODE_BYTES, Node, NodeKind, ProgramTree
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Before/after sizes of a compression run."""
+
+    logical_nodes: int
+    nodes_before: int
+    nodes_after: int
+    #: True when leaf lengths were quantised (lossy mode).
+    lossy: bool = False
+
+    @property
+    def bytes_before(self) -> int:
+        return self.nodes_before * NODE_BYTES
+
+    @property
+    def bytes_after(self) -> int:
+        return self.nodes_after * NODE_BYTES
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of node storage eliminated (the paper's '93 %')."""
+        if self.nodes_before == 0:
+            return 0.0
+        return 1.0 - self.nodes_after / self.nodes_before
+
+
+def compress_tree(tree: ProgramTree, tolerance: float = 0.05) -> CompressionStats:
+    """Compress ``tree`` in place; returns statistics."""
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance!r}")
+    logical = tree.logical_nodes()
+    before = tree.unique_nodes()
+    _rle(tree.root, tolerance)
+    _dictionary(tree.root)
+    after = tree.unique_nodes()
+    return CompressionStats(
+        logical_nodes=logical, nodes_before=before, nodes_after=after
+    )
+
+
+def compress_tree_lossy(
+    tree: ProgramTree, lossy_tolerance: float = 0.20
+) -> CompressionStats:
+    """Lossy compression (paper §VI-B's "last resort").
+
+    Quantises every leaf length onto a relative grid of width
+    ``lossy_tolerance`` (geometric buckets), then runs the lossless passes.
+    Each leaf length moves by at most ``lossy_tolerance`` relative; work
+    composition fields are scaled along so REAL replays stay consistent.
+    """
+    if lossy_tolerance <= 0:
+        raise ConfigurationError(
+            f"lossy_tolerance must be > 0, got {lossy_tolerance!r}"
+        )
+    logical = tree.logical_nodes()
+    before = tree.unique_nodes()
+    _quantize_leaves(tree.root, lossy_tolerance)
+    _rle(tree.root, tolerance=0.0)
+    _dictionary(tree.root)
+    after = tree.unique_nodes()
+    return CompressionStats(
+        logical_nodes=logical,
+        nodes_before=before,
+        nodes_after=after,
+        lossy=True,
+    )
+
+
+def _quantize_leaves(node: Node, tolerance: float) -> None:
+    import math
+
+    log_step = math.log1p(tolerance)
+
+    def grid(value: float) -> float:
+        if value <= 0:
+            return 0.0
+        return math.exp(round(math.log(value) / log_step) * log_step)
+
+    for n in node.walk():
+        if not n.is_leaf or n.length <= 0:
+            continue
+        length_q = grid(n.length)
+        # Quantise the work-composition *rates* on the same grid so leaves
+        # with near-identical profiles become exactly identical (and thus
+        # dictionary-sharable), each field moving <= ~2x the tolerance.
+        n.cpu_cycles = grid(n.cpu_cycles / n.length) * length_q
+        n.instructions = grid(n.instructions / n.length) * length_q
+        n.llc_misses = grid(n.llc_misses / n.length) * length_q
+        n.length = length_q
+    _refresh_internal_lengths(node)
+
+
+def _refresh_internal_lengths(node: Node) -> float:
+    """Recompute internal node lengths from (quantised) children so that
+    structurally identical subtrees also carry identical lengths — otherwise
+    stale measured interval lengths defeat dictionary sharing."""
+    if node.is_leaf:
+        return node.length
+    per_instance = sum(
+        _refresh_internal_lengths(c) * c.repeat for c in node.children
+    )
+    node.length = per_instance
+    return per_instance
+
+
+# ---------------------------------------------------------------- RLE pass
+
+
+def _rle(node: Node, tolerance: float) -> None:
+    for child in node.children:
+        _rle(child, tolerance)
+    if len(node.children) < 2:
+        return
+    new_children: list[Node] = []
+    run: list[Node] = [node.children[0]]
+    for child in node.children[1:]:
+        if _mergeable(run[0], child, tolerance):
+            run.append(child)
+        else:
+            new_children.append(_merge_run(run))
+            run = [child]
+    new_children.append(_merge_run(run))
+    node.children = new_children
+
+
+def _mergeable(a: Node, b: Node, tolerance: float) -> bool:
+    """Similarity for run merging: like nodes_similar but top-level repeat
+    counts may differ (they are summed by the merge)."""
+    if a.kind is not b.kind or a.lock_id != b.lock_id or a.nowait != b.nowait:
+        return False
+    if a.pipeline != b.pipeline:
+        return False
+    if a.kind is NodeKind.SEC and a.name != b.name:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    if a.is_leaf and not _close(a.length, b.length, tolerance):
+        return False
+    from repro.core.tree import nodes_similar
+
+    return all(
+        nodes_similar(ca, cb, tolerance) for ca, cb in zip(a.children, b.children)
+    )
+
+
+def _close(x: float, y: float, tolerance: float) -> bool:
+    hi = max(abs(x), abs(y))
+    return hi == 0 or abs(x - y) <= tolerance * hi
+
+
+def _merge_run(run: list[Node]) -> Node:
+    if len(run) == 1:
+        return run[0]
+    total_repeat = sum(n.repeat for n in run)
+    merged = _weighted_copy(run)
+    merged.repeat = total_repeat
+    return merged
+
+
+def _weighted_copy(run: list[Node]) -> Node:
+    """A copy of run[0] whose leaf values are repeat-weighted averages over
+    the run, preserving each run's total length exactly."""
+    first = run[0]
+    weights = [n.repeat for n in run]
+    total = sum(weights)
+    node = Node(
+        first.kind,
+        first.name,
+        length=sum(n.length * w for n, w in zip(run, weights)) / total,
+        lock_id=first.lock_id,
+        repeat=first.repeat,
+        cpu_cycles=sum(n.cpu_cycles * w for n, w in zip(run, weights)) / total,
+        instructions=sum(n.instructions * w for n, w in zip(run, weights)) / total,
+        llc_misses=sum(n.llc_misses * w for n, w in zip(run, weights)) / total,
+        nowait=first.nowait,
+    )
+    node.pipeline = first.pipeline
+    for i in range(len(first.children)):
+        node.children.append(_weighted_copy([n.children[i] for n in run]))
+    return node
+
+
+# ---------------------------------------------------------- dictionary pass
+
+
+def _dictionary(root: Node) -> None:
+    table: dict[tuple, Node] = {}
+    sig_cache: dict[int, tuple] = {}
+
+    def signature(node: Node) -> tuple:
+        cached = sig_cache.get(id(node))
+        if cached is not None:
+            return cached
+        sig = (
+            node.kind.value,
+            # Section names carry identity (burden factors and per-section
+            # reports key on them); merging same-shape sections of different
+            # names would silently rename one.
+            node.name if node.kind is NodeKind.SEC else "",
+            node.lock_id,
+            node.nowait,
+            node.pipeline,
+            node.repeat,
+            node.length,
+            node.cpu_cycles,
+            node.instructions,
+            node.llc_misses,
+            tuple(signature(c) for c in node.children),
+        )
+        sig_cache[id(node)] = sig
+        return sig
+
+    def dedup(node: Node) -> None:
+        for i, child in enumerate(node.children):
+            dedup(child)
+            sig = signature(child)
+            canonical = table.get(sig)
+            if canonical is None:
+                table[sig] = child
+            elif canonical is not child:
+                node.children[i] = canonical
+
+    dedup(root)

@@ -1,0 +1,478 @@
+"""Program-tree replay on the simulated machine.
+
+One replay engine serves two roles:
+
+- ``ReplayMode.REAL`` — **ground truth**: each leaf re-runs its actual work
+  (pure-CPU cycles + LLC misses), so DRAM contention, lock contention, OS
+  preemption, and runtime overheads all interact exactly as they would in
+  the actually-parallelized program.  This stands in for the paper's
+  hand-parallelized OpenMP/Cilk code measured on real hardware ("Real" in
+  Figs. 2, 11, 12).
+- ``ReplayMode.FAKE`` — the **synthesizer's generated program**: each leaf
+  becomes a burden-scaled pure delay (the paper's ``FakeDelay``), locks are
+  real simulated mutexes, nested sections become recursive parallel
+  constructs, and the per-node tree-traversal overhead is charged and
+  tracked per worker so it can be subtracted afterwards (Section IV-E).
+
+Crucially the FAKE path consumes only what the profiler can observe —
+measured net lengths and per-section burden factors — never the leaves'
+ground-truth work composition, so predictions are honest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Mapping, Optional
+
+from repro.core.tree import Node, NodeKind, ProgramTree
+from repro.errors import EmulationError
+from repro.runtime.cilk import CilkContext, CilkPool
+from repro.runtime.openmp import OmpRuntime
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+from repro.runtime.tasks import Schedule
+from repro.simhw.machine import MachineConfig
+from repro.simos import (
+    Acquire,
+    Compute,
+    GetCurrentThread,
+    Release,
+    SimKernel,
+    SimMutex,
+)
+
+
+class ReplayMode(enum.Enum):
+    """REAL = ground-truth work replay; FAKE = synthesizer fake delays."""
+
+    REAL = "real"
+    FAKE = "fake"
+
+
+#: Synthesizer per-node traversal costs (paper Section IV-E: "these two units
+#: of overhead on our machine are both approximately 50 cycles").
+OVERHEAD_ACCESS_NODE = 50.0
+OVERHEAD_RECURSIVE_CALL = 50.0
+
+
+class _OverheadManager:
+    """Per-worker traversal overhead, as in the paper's Fig. 8 pseudo-code."""
+
+    def __init__(self) -> None:
+        self.per_thread: dict[int, float] = {}
+
+    def add(self, tid: int, amount: float) -> None:
+        self.per_thread[tid] = self.per_thread.get(tid, 0.0) + amount
+
+    def longest(self) -> float:
+        return max(self.per_thread.values(), default=0.0)
+
+
+@dataclass
+class SectionRun:
+    """Result of emulating/executing one top-level parallel section."""
+
+    name: str
+    gross_cycles: float
+    traversal_overhead: float
+    preemptions: int
+    steals: int
+
+    @property
+    def net_cycles(self) -> float:
+        """Gross time minus the longest per-worker traversal overhead
+        (Fig. 8 line 26); equals gross for REAL replays."""
+        return max(0.0, self.gross_cycles - self.traversal_overhead)
+
+
+@dataclass
+class ReplayResult:
+    """Whole-program replay outcome."""
+
+    total_cycles: float
+    serial_cycles: float
+    sections: list[SectionRun] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.total_cycles <= 0:
+            return 1.0
+        return self.serial_cycles / self.total_cycles
+
+
+class ParallelExecutor:
+    """Replays program trees through the simulated runtimes.
+
+    Parameters
+    ----------
+    machine:
+        Target machine (``n_cores`` bounds real concurrency; thread counts
+        above it oversubscribe, as on real hardware).
+    paradigm:
+        ``"omp"`` (fork/join teams; nested sections spawn nested *physical*
+        teams — OpenMP 2.0's weakness on recursion), ``"cilk"`` (one
+        work-stealing pool; nested sections become nested ``cilk_for``
+        ranges), or ``"omp_task"`` (OpenMP 3.0 tasking: one team draining a
+        shared task queue; nested sections become task groups).
+    schedule:
+        OpenMP loop schedule; ignored by the Cilk paradigm.
+    overheads:
+        Runtime overhead constants, shared with the FF emulator.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        paradigm: str = "omp",
+        schedule: Schedule = Schedule.static(),
+        overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+    ) -> None:
+        if paradigm not in ("omp", "cilk", "omp_task"):
+            raise EmulationError(f"unknown paradigm {paradigm!r}")
+        self.machine = machine
+        self.paradigm = paradigm
+        self.schedule = schedule
+        self.overheads = overheads
+
+    # ----------------------------------------------------------------- API
+
+    def execute_profile(
+        self,
+        tree: ProgramTree,
+        n_threads: int,
+        mode: ReplayMode = ReplayMode.REAL,
+        burdens: Optional[Mapping[str, float]] = None,
+    ) -> ReplayResult:
+        """Replay a whole program: top-level sections are executed through
+        the parallel runtime, top-level serial nodes pass through unchanged.
+
+        ``burdens`` maps top-level section names to β factors; only FAKE
+        replays consume them (REAL replays develop contention naturally).
+        """
+        burdens = burdens or {}
+        total = 0.0
+        sections: list[SectionRun] = []
+        # The simulation is deterministic, so replaying the *same* section
+        # node (dictionary-shared activations, compressed repeats) always
+        # yields the same result — memoise per node object.
+        cache: dict[int, SectionRun] = {}
+        for item in self._group_chains(tree.root.children):
+            if isinstance(item, Node):
+                if item.kind is NodeKind.U:
+                    total += item.length * item.repeat
+                    continue
+                beta = (
+                    burdens.get(item.name, 1.0) if mode is ReplayMode.FAKE else 1.0
+                )
+                run = cache.get(id(item))
+                if run is None:
+                    run = self.execute_section(item, n_threads, mode, burden=beta)
+                    cache[id(item)] = run
+                sections.extend([run] * item.repeat)
+                total += run.net_cycles * item.repeat
+            else:
+                # A nowait chain: one team runs the loops back to back.
+                run = self.execute_chain(item, n_threads, mode, burdens)
+                sections.append(run)
+                total += run.net_cycles
+        return ReplayResult(
+            total_cycles=total,
+            serial_cycles=tree.serial_cycles(),
+            sections=sections,
+        )
+
+    def _group_chains(self, children: list[Node]) -> list:
+        """Group ``nowait`` chains for the OpenMP paradigm; the task-pool
+        paradigms keep per-section execution with implicit barriers."""
+        if self.paradigm != "omp":
+            return list(children)
+        from repro.core.tree import group_nowait_chains
+
+        return group_nowait_chains(children)
+
+    def execute_chain(
+        self,
+        secs: list[Node],
+        n_threads: int,
+        mode: ReplayMode = ReplayMode.REAL,
+        burdens: Optional[Mapping[str, float]] = None,
+    ) -> SectionRun:
+        """Execute a nowait chain of sections as one OpenMP parallel region
+        with several worksharing loops (PAR_SEC_END(nowait) semantics)."""
+        burdens = burdens or {}
+        kernel = SimKernel(self.machine)
+        locks: dict[int, SimMutex] = {}
+        ohmgr = _OverheadManager()
+        omp = OmpRuntime(kernel, self.overheads)
+
+        loops = []
+        for sec in secs:
+            beta = burdens.get(sec.name, 1.0) if mode is ReplayMode.FAKE else 1.0
+            bodies = self._omp_bodies(sec, omp, n_threads, locks, mode, beta, ohmgr)
+            loops.append((bodies, self.schedule, sec.nowait))
+
+        def master() -> Generator[Any, Any, None]:
+            yield from omp.parallel_loops(loops, n_threads=n_threads)
+
+        kernel.spawn(master(), name="replay-master")
+        gross = kernel.run()
+        return SectionRun(
+            name="+".join(sec.name for sec in secs),
+            gross_cycles=gross,
+            traversal_overhead=ohmgr.longest() if mode is ReplayMode.FAKE else 0.0,
+            preemptions=kernel.preemptions,
+            steals=0,
+        )
+
+    def execute_section(
+        self,
+        sec: Node,
+        n_threads: int,
+        mode: ReplayMode = ReplayMode.REAL,
+        burden: float = 1.0,
+    ) -> SectionRun:
+        """Execute one top-level parallel section on a fresh kernel.
+
+        Matches the paper's ``EmulTopLevelParSec``: sets the worker count,
+        measures gross elapsed cycles, and (FAKE mode) subtracts the longest
+        per-worker traversal overhead.
+        """
+        if sec.kind is not NodeKind.SEC:
+            raise EmulationError(f"execute_section needs a SEC node, got {sec.kind}")
+        kernel = SimKernel(self.machine)
+        locks: dict[int, SimMutex] = {}
+        ohmgr = _OverheadManager()
+        steals = 0
+
+        if sec.pipeline:
+            from repro.core.pipeline import replay_pipeline_section
+
+            def master() -> Generator[Any, Any, None]:
+                yield from replay_pipeline_section(
+                    kernel,
+                    sec,
+                    n_threads,
+                    self.machine,
+                    real=mode is ReplayMode.REAL,
+                    burden=burden,
+                    overheads=self.overheads,
+                    locks=locks,
+                )
+
+            kernel.spawn(master(), name="replay-master")
+            gross = kernel.run()
+            return SectionRun(
+                name=sec.name,
+                gross_cycles=gross,
+                traversal_overhead=0.0,
+                preemptions=kernel.preemptions,
+                steals=0,
+            )
+
+        if self.paradigm == "omp":
+            omp = OmpRuntime(kernel, self.overheads)
+
+            def master() -> Generator[Any, Any, None]:
+                bodies = self._omp_bodies(sec, omp, n_threads, locks, mode, burden, ohmgr)
+                yield from omp.parallel_for(
+                    bodies, n_threads=n_threads, schedule=self.schedule
+                )
+
+            kernel.spawn(master(), name="replay-master")
+            gross = kernel.run()
+        elif self.paradigm == "cilk":
+            pool = CilkPool(kernel, n_workers=n_threads, overheads=self.overheads)
+
+            def cilk_for_op(ctx, bodies):
+                return pool.cilk_for(ctx, bodies)
+
+            bodies = self._pool_bodies(sec, cilk_for_op, locks, mode, burden, ohmgr)
+
+            def root(ctx: CilkContext) -> Generator[Any, Any, None]:
+                yield from pool.cilk_for(ctx, bodies)
+
+            def master() -> Generator[Any, Any, None]:
+                yield from pool.run(root)
+
+            kernel.spawn(master(), name="replay-master")
+            gross = kernel.run()
+            steals = pool.steals
+        else:  # omp_task
+            from repro.runtime.omptask import OmpTaskPool
+
+            task_pool = OmpTaskPool(
+                kernel, n_threads=n_threads, overheads=self.overheads
+            )
+
+            def task_for_op(ctx, bodies):
+                # Bodies already take the executing context, matching
+                # OmpTaskBody's signature.
+                return ctx.task_loop(bodies)
+
+            bodies = self._pool_bodies(sec, task_for_op, locks, mode, burden, ohmgr)
+
+            def task_root(ctx) -> Generator[Any, Any, None]:
+                yield from task_for_op(ctx, bodies)
+
+            def master() -> Generator[Any, Any, None]:
+                yield from task_pool.run(task_root)
+
+            kernel.spawn(master(), name="replay-master")
+            gross = kernel.run()
+
+        return SectionRun(
+            name=sec.name,
+            gross_cycles=gross,
+            traversal_overhead=ohmgr.longest() if mode is ReplayMode.FAKE else 0.0,
+            preemptions=kernel.preemptions,
+            steals=steals,
+        )
+
+    # ------------------------------------------------------------- lowering
+
+    def _leaf_compute(self, node: Node, mode: ReplayMode, burden: float) -> Compute:
+        if mode is ReplayMode.REAL:
+            base = node.cpu_cycles + node.llc_misses * self.machine.base_miss_stall
+            return Compute(
+                cycles=base,
+                instructions=node.instructions,
+                llc_misses=node.llc_misses,
+            )
+        # FakeDelay(node.length * burden): spins without touching memory.
+        return Compute(cycles=node.length * burden)
+
+    def _node_visit_overhead(
+        self, mode: ReplayMode, ohmgr: _OverheadManager, recursive: bool = False
+    ) -> Generator[Any, Any, None]:
+        if mode is not ReplayMode.FAKE:
+            return
+        cost = OVERHEAD_ACCESS_NODE + (OVERHEAD_RECURSIVE_CALL if recursive else 0.0)
+        me = yield GetCurrentThread()
+        ohmgr.add(me.tid, cost)
+        yield Compute(cycles=cost)
+
+    def _omp_bodies(
+        self,
+        sec: Node,
+        omp: OmpRuntime,
+        n_threads: int,
+        locks: dict[int, SimMutex],
+        mode: ReplayMode,
+        burden: float,
+        ohmgr: _OverheadManager,
+    ) -> list[Callable[[], Generator[Any, Any, None]]]:
+        bodies: list[Callable[[], Generator[Any, Any, None]]] = []
+        for task in sec.children:
+            factory = self._omp_task_body(task, omp, n_threads, locks, mode, burden, ohmgr)
+            bodies.extend([factory] * task.repeat)
+        return bodies
+
+    def _omp_task_body(
+        self,
+        task: Node,
+        omp: OmpRuntime,
+        n_threads: int,
+        locks: dict[int, SimMutex],
+        mode: ReplayMode,
+        burden: float,
+        ohmgr: _OverheadManager,
+    ) -> Callable[[], Generator[Any, Any, None]]:
+        executor = self
+
+        def body() -> Generator[Any, Any, None]:
+            for node in task.children:
+                yield from executor._node_visit_overhead(
+                    mode, ohmgr, recursive=node.kind is NodeKind.SEC
+                )
+                if node.kind is NodeKind.U:
+                    req = executor._leaf_compute(node, mode, burden)
+                    yield Compute(
+                        cycles=req.cycles * node.repeat,
+                        instructions=req.instructions * node.repeat,
+                        llc_misses=req.llc_misses * node.repeat,
+                    )
+                elif node.kind is NodeKind.L:
+                    mutex = locks.setdefault(node.lock_id, SimMutex(f"lock{node.lock_id}"))
+                    for _ in range(node.repeat):
+                        yield Compute(cycles=executor.overheads.omp_lock_acquire)
+                        yield Acquire(mutex)
+                        yield executor._leaf_compute(node, mode, burden)
+                        yield Release(mutex)
+                        yield Compute(cycles=executor.overheads.omp_lock_release)
+                elif node.kind is NodeKind.SEC:
+                    sub = executor._omp_bodies(
+                        node, omp, n_threads, locks, mode, burden, ohmgr
+                    )
+                    for _ in range(node.repeat):
+                        yield from omp.parallel_for(
+                            sub, n_threads=n_threads, schedule=executor.schedule
+                        )
+                else:  # pragma: no cover - validated trees
+                    raise EmulationError(f"bad node inside task: {node!r}")
+
+        return body
+
+    def _pool_bodies(
+        self,
+        sec: Node,
+        for_op: Callable[[Any, list], Generator[Any, Any, None]],
+        locks: dict[int, SimMutex],
+        mode: ReplayMode,
+        burden: float,
+        ohmgr: _OverheadManager,
+    ) -> list[Callable[[Any], Generator[Any, Any, None]]]:
+        """Task bodies for a task-pool paradigm (Cilk / OpenMP tasking).
+
+        Bodies take the executing context; ``for_op(ctx, bodies)`` runs a
+        group of bodies in parallel within that context (``cilk_for`` or an
+        OpenMP task group).
+        """
+        bodies: list[Callable[[Any], Generator[Any, Any, None]]] = []
+        for task in sec.children:
+            factory = self._pool_task_body(task, for_op, locks, mode, burden, ohmgr)
+            bodies.extend([factory] * task.repeat)
+        return bodies
+
+    def _pool_task_body(
+        self,
+        task: Node,
+        for_op: Callable[[Any, list], Generator[Any, Any, None]],
+        locks: dict[int, SimMutex],
+        mode: ReplayMode,
+        burden: float,
+        ohmgr: _OverheadManager,
+    ) -> Callable[[Any], Generator[Any, Any, None]]:
+        executor = self
+
+        def body(ctx) -> Generator[Any, Any, None]:
+            for node in task.children:
+                yield from executor._node_visit_overhead(
+                    mode, ohmgr, recursive=node.kind is NodeKind.SEC
+                )
+                if node.kind is NodeKind.U:
+                    req = executor._leaf_compute(node, mode, burden)
+                    yield Compute(
+                        cycles=req.cycles * node.repeat,
+                        instructions=req.instructions * node.repeat,
+                        llc_misses=req.llc_misses * node.repeat,
+                    )
+                elif node.kind is NodeKind.L:
+                    mutex = locks.setdefault(node.lock_id, SimMutex(f"lock{node.lock_id}"))
+                    for _ in range(node.repeat):
+                        yield Acquire(mutex)
+                        yield executor._leaf_compute(node, mode, burden)
+                        yield Release(mutex)
+                elif node.kind is NodeKind.SEC:
+                    # Nested parallelism in the context of the worker
+                    # actually executing this body: a nested cilk_for or an
+                    # OpenMP task group — the pool schedules the rest (why
+                    # these paradigms shine on Fig. 1(b) patterns).
+                    sub = executor._pool_bodies(
+                        node, for_op, locks, mode, burden, ohmgr
+                    )
+                    for _ in range(node.repeat):
+                        yield from for_op(ctx, sub)
+                else:  # pragma: no cover - validated trees
+                    raise EmulationError(f"bad node inside task: {node!r}")
+
+        return body

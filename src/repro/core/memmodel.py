@@ -1,0 +1,176 @@
+"""The burden-factor memory performance model (paper Section V).
+
+The model predicts the slowdown a parallel section suffers purely from
+memory-system contention.  Per top-level section it consumes only serial
+hardware counters — instructions N, elapsed cycles T, LLC misses D — and the
+machine calibration (Ψ, Φ from :mod:`repro.core.microbench`):
+
+1. δ  = traffic of the serial section (from D, line size, T);
+2. ω  = Φ(δ)  — serial stall cycles per miss;
+3. CPI$ = (T − ω·D) / N  — Eq. 1 rearranged: the compute-only CPI;
+4. δᵗ = Ψₜ(δ) — Eq. 4: per-thread achieved traffic at t threads;
+5. ωᵗ = Φ(δᵗ) — Eq. 5: stall per miss under that contention;
+6. βᵗ = (CPI$ + MPI·ωᵗ) / (CPI$ + MPI·ω) — Eq. 3.
+
+Assumption 5 guard: βᵗ = 1 when MPI < 0.001 or δ is below the calibrated
+validity threshold; βᵗ is clamped to ≥ 1 (no super-linear modelling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.microbench import CalibrationResult
+from repro.core.profiler import ProgramProfile, SectionCounters
+from repro.errors import CalibrationError
+from repro.simhw.machine import MachineConfig
+
+#: MPI below which a section is treated as cache-resident (assumption 5).
+MPI_THRESHOLD = 0.001
+
+#: A burden table: thread count -> β.
+BurdenTable = dict[int, float]
+
+
+class TrafficLevel(enum.Enum):
+    """Columns of the paper's Table IV."""
+
+    LOW = "Low"
+    MODERATE = "Moderate"
+    HEAVY = "Heavy"
+
+
+class MissVariation(enum.Enum):
+    """Rows of the paper's Table IV (LLC miss/instr from serial → parallel)."""
+
+    INCREASES = "Par >> Ser"
+    UNCHANGED = "Par ~= Ser"
+    DECREASES = "Par << Ser"
+
+
+#: Table IV — expected speedup classification.  Only the UNCHANGED row is
+#: predicted by the lightweight model (the paper's explicit scope).
+EXPECTED_BEHAVIOR: dict[tuple[MissVariation, TrafficLevel], str] = {
+    (MissVariation.INCREASES, TrafficLevel.LOW): "Likely scalable",
+    (MissVariation.INCREASES, TrafficLevel.MODERATE): "Slowdown+",
+    (MissVariation.INCREASES, TrafficLevel.HEAVY): "Slowdown++",
+    (MissVariation.UNCHANGED, TrafficLevel.LOW): "Scalable",
+    (MissVariation.UNCHANGED, TrafficLevel.MODERATE): "Slowdown",
+    (MissVariation.UNCHANGED, TrafficLevel.HEAVY): "Slowdown++",
+    (MissVariation.DECREASES, TrafficLevel.LOW): "Scalable or superlinear",
+    (MissVariation.DECREASES, TrafficLevel.MODERATE): "-",
+    (MissVariation.DECREASES, TrafficLevel.HEAVY): "-",
+}
+
+
+def classify_memory_behavior(
+    traffic_mbs: float,
+    machine: MachineConfig,
+    miss_variation: MissVariation = MissVariation.UNCHANGED,
+) -> tuple[TrafficLevel, str]:
+    """Classify a section per Table IV given its serial DRAM traffic.
+
+    Thresholds scale with the machine's peak bandwidth: "Low" below 10 % of
+    peak (a full core complement cannot saturate), "Heavy" above 20 % (five
+    threads fill the pipe — guaranteed saturation on a 12-core machine).
+    """
+    peak_mbs = machine.dram_peak_bytes_per_sec / 1e6
+    if traffic_mbs < 0.10 * peak_mbs:
+        level = TrafficLevel.LOW
+    elif traffic_mbs < 0.20 * peak_mbs:
+        level = TrafficLevel.MODERATE
+    else:
+        level = TrafficLevel.HEAVY
+    return level, EXPECTED_BEHAVIOR[(miss_variation, level)]
+
+
+@dataclass
+class BurdenBreakdown:
+    """Intermediate quantities of one burden computation (for reporting)."""
+
+    section: str
+    n_threads: int
+    mpi: float
+    delta_mbs: float
+    omega_serial: float
+    cpi_cache: float
+    delta_t_mbs: float
+    omega_t: float
+    beta: float
+
+
+class MemoryModel:
+    """Computes burden factors from serial counters + machine calibration."""
+
+    def __init__(self, calibration: CalibrationResult) -> None:
+        self.calibration = calibration
+        self.machine = calibration.machine
+        #: Breakdown of every burden computed (diagnostics / benches).
+        self.breakdowns: list[BurdenBreakdown] = []
+
+    # ------------------------------------------------------------------ core
+
+    def burden(self, section: SectionCounters, n_threads: int) -> float:
+        """βₜ for one section (Eq. 3), ≥ 1, = 1 below the model's scope."""
+        counters = section.total
+        n = counters.instructions
+        t_cycles = counters.cycles
+        d = counters.llc_misses
+        if n <= 0 or t_cycles <= 0:
+            raise CalibrationError(
+                f"section {section.name!r} has no counter data"
+            )
+        mpi = d / n
+        delta = counters.traffic_mbs(self.machine)
+        if (
+            n_threads <= 1
+            or mpi < MPI_THRESHOLD
+            or delta < self.calibration.min_traffic_mbs
+        ):
+            beta = 1.0
+            self.breakdowns.append(
+                BurdenBreakdown(
+                    section.name, n_threads, mpi, delta, 0.0, 0.0, delta, 0.0, beta
+                )
+            )
+            return beta
+
+        omega = self.calibration.predict_stall(delta)
+        cpi_cache = (t_cycles - omega * d) / n
+        # Guard against a Φ overestimate eating the whole measured time.
+        cpi_cache = max(cpi_cache, 0.05)
+        delta_t = self.calibration.predict_per_thread_traffic(delta, n_threads)
+        omega_t = self.calibration.predict_stall(delta_t)
+        beta = (cpi_cache + mpi * omega_t) / (cpi_cache + mpi * omega)
+        beta = max(1.0, float(beta))
+        self.breakdowns.append(
+            BurdenBreakdown(
+                section.name,
+                n_threads,
+                mpi,
+                delta,
+                omega,
+                cpi_cache,
+                delta_t,
+                omega_t,
+                beta,
+            )
+        )
+        return beta
+
+    def burden_table(
+        self, section: SectionCounters, thread_counts: Sequence[int]
+    ) -> BurdenTable:
+        """β per thread count for one section."""
+        return {t: self.burden(section, t) for t in thread_counts}
+
+    def attach(
+        self, profile: ProgramProfile, thread_counts: Sequence[int]
+    ) -> Mapping[str, BurdenTable]:
+        """Compute burden tables for every top-level section of ``profile``
+        and store them on the profile (consumed by both emulators)."""
+        for name, section in profile.sections.items():
+            profile.burdens[name] = self.burden_table(section, thread_counts)
+        return profile.burdens

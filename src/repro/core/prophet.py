@@ -1,0 +1,189 @@
+"""Top-level Parallel Prophet API (paper Fig. 3 workflow).
+
+Typical use::
+
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(program)              # interval + memory profiling
+    report = prophet.predict(                        # emulation
+        profile,
+        threads=[2, 4, 6, 8, 10, 12],
+        schedules=["static", "static,1", "dynamic,1"],
+        methods=("ff", "syn"),
+    )
+    print(report.to_table())
+
+Ground-truth measurement (replaying the tree as an actually-parallelized
+program on the simulated machine) is exposed as :meth:`measure_real` so
+benchmark harnesses can print Real-vs-Pred comparisons like the paper's
+Figs. 2, 11, 12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.annotations import AnnotationProgram
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.memmodel import MemoryModel
+from repro.core.microbench import CalibrationResult, calibrate_memory_model
+from repro.core.profiler import IntervalProfiler, ProgramProfile
+from repro.core.report import SpeedupEstimate, SpeedupReport
+from repro.core.synthesizer import Synthesizer
+from repro.errors import ConfigurationError
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+from repro.runtime.tasks import Schedule
+from repro.simhw.machine import WESTMERE_12, MachineConfig
+
+
+class ParallelProphet:
+    """Facade tying together profiling, the memory model, and the emulators."""
+
+    def __init__(
+        self,
+        machine: MachineConfig = WESTMERE_12,
+        overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+        compress: bool = True,
+        compression_tolerance: float = 0.05,
+        overhead_subtraction_accuracy: float = 1.0,
+    ) -> None:
+        self.machine = machine
+        self.overheads = overheads
+        self.profiler = IntervalProfiler(
+            machine,
+            compress=compress,
+            tolerance=compression_tolerance,
+            overhead_subtraction_accuracy=overhead_subtraction_accuracy,
+        )
+        self._calibration: Optional[CalibrationResult] = None
+
+    # --------------------------------------------------------------- profiling
+
+    def profile(self, program: AnnotationProgram) -> ProgramProfile:
+        """Interval-profile an annotated serial program (Fig. 3 step 2)."""
+        return self.profiler.profile(program)
+
+    # --------------------------------------------------------------- memory model
+
+    def calibration(
+        self, thread_counts: Sequence[int] = (2, 4, 8, 12)
+    ) -> CalibrationResult:
+        """The machine's Ψ/Φ calibration, computed once and cached.
+
+        A spread of thread counts is always swept in addition to the
+        requested ones — the Φ fit needs contention at several levels; a
+        single thread count gives a degenerate (near-vertical) relation.
+        """
+        needed = sorted({t for t in thread_counts if t >= 2})
+        if self._calibration is None or not all(
+            t in self._calibration.psi for t in needed
+        ):
+            n = self.machine.n_cores
+            spread = {t for t in (2, 4, max(2, n // 2), n) if t >= 2}
+            merged = set(needed) | spread | (
+                set(self._calibration.psi) if self._calibration else set()
+            )
+            self._calibration = calibrate_memory_model(
+                self.machine, thread_counts=sorted(merged)
+            )
+        return self._calibration
+
+    def attach_burdens(
+        self, profile: ProgramProfile, thread_counts: Sequence[int]
+    ) -> MemoryModel:
+        """Compute and attach burden factors for every top-level section."""
+        model = MemoryModel(self.calibration(thread_counts))
+        model.attach(profile, thread_counts)
+        return model
+
+    # --------------------------------------------------------------- prediction
+
+    def predict(
+        self,
+        profile: ProgramProfile,
+        threads: Sequence[int],
+        paradigm: str = "omp",
+        schedules: Iterable[str | Schedule] = ("static",),
+        methods: Sequence[str] = ("syn",),
+        memory_model: bool = True,
+    ) -> SpeedupReport:
+        """Predict speedups for every (method, schedule, thread count).
+
+        ``methods``: any of ``"ff"`` (fast-forward) and ``"syn"``
+        (program synthesis).  With ``memory_model=True`` burden factors are
+        calibrated and applied; otherwise every β is 1.
+        """
+        for m in methods:
+            if m not in ("ff", "syn"):
+                raise ConfigurationError(f"unknown prediction method {m!r}")
+        scheds = [s if isinstance(s, Schedule) else Schedule.parse(s) for s in schedules]
+        if memory_model and profile.sections:
+            self.attach_burdens(profile, threads)
+
+        report = SpeedupReport()
+        serial = profile.serial_cycles()
+        for schedule in scheds:
+            for t in threads:
+                burdens = (
+                    {
+                        name: profile.burden_for(name, t)
+                        for name in profile.sections
+                    }
+                    if memory_model
+                    else {}
+                )
+                if "ff" in methods:
+                    ff = FastForwardEmulator(self.overheads)
+                    predicted, ff_sections = ff.emulate_profile(
+                        profile.tree, t, schedule, burdens
+                    )
+                    report.add(
+                        SpeedupEstimate(
+                            method="ff",
+                            paradigm=paradigm,
+                            schedule=schedule.label,
+                            n_threads=t,
+                            speedup=serial / predicted if predicted > 0 else 1.0,
+                            with_memory_model=memory_model,
+                            sections={r.name: r.speedup for r in ff_sections},
+                        )
+                    )
+                if "syn" in methods:
+                    syn = Synthesizer(
+                        paradigm=paradigm, schedule=schedule, overheads=self.overheads
+                    )
+                    run = syn.predict(profile, t, use_memory_model=memory_model)
+                    report.add(run.estimate)
+        return report
+
+    # --------------------------------------------------------------- ground truth
+
+    def measure_real(
+        self,
+        profile: ProgramProfile,
+        threads: Sequence[int],
+        paradigm: str = "omp",
+        schedule: str | Schedule = "static",
+    ) -> SpeedupReport:
+        """Replay the tree as an actually-parallelized program (REAL mode) —
+        the reproduction's stand-in for the paper's measured 'Real' bars."""
+        sched = schedule if isinstance(schedule, Schedule) else Schedule.parse(schedule)
+        executor = ParallelExecutor(
+            machine=self.machine,
+            paradigm=paradigm,
+            schedule=sched,
+            overheads=self.overheads,
+        )
+        report = SpeedupReport()
+        for t in threads:
+            result = executor.execute_profile(profile.tree, t, ReplayMode.REAL)
+            report.add(
+                SpeedupEstimate(
+                    method="real",
+                    paradigm=paradigm,
+                    schedule=sched.label,
+                    n_threads=t,
+                    speedup=result.speedup,
+                )
+            )
+        return report

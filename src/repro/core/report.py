@@ -1,0 +1,137 @@
+"""Result dataclasses and table formatting for speedup predictions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """One predicted (or measured) speedup data point."""
+
+    method: str  # "ff" | "syn" | "real" | "suit" | "kismet" | "amdahl"
+    paradigm: str  # "omp" | "cilk"
+    schedule: str  # e.g. "static,1"
+    n_threads: int
+    speedup: float
+    with_memory_model: bool = False
+    #: Per top-level-section speedups, when the method provides them.
+    sections: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple:
+        return (self.method, self.paradigm, self.schedule, self.n_threads,
+                self.with_memory_model)
+
+
+class SpeedupReport:
+    """A collection of estimates with lookup and rendering helpers."""
+
+    def __init__(self, estimates: Optional[Iterable[SpeedupEstimate]] = None) -> None:
+        self.estimates: list[SpeedupEstimate] = list(estimates or [])
+
+    def add(self, estimate: SpeedupEstimate) -> None:
+        """Append one estimate."""
+        self.estimates.append(estimate)
+
+    def extend(self, estimates: Iterable[SpeedupEstimate]) -> None:
+        """Append many estimates."""
+        self.estimates.extend(estimates)
+
+    def get(
+        self,
+        method: Optional[str] = None,
+        schedule: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        with_memory_model: Optional[bool] = None,
+        paradigm: Optional[str] = None,
+    ) -> list[SpeedupEstimate]:
+        """Estimates matching every given filter (None = wildcard)."""
+        out = self.estimates
+        if method is not None:
+            out = [e for e in out if e.method == method]
+        if schedule is not None:
+            out = [e for e in out if e.schedule == schedule]
+        if n_threads is not None:
+            out = [e for e in out if e.n_threads == n_threads]
+        if with_memory_model is not None:
+            out = [e for e in out if e.with_memory_model == with_memory_model]
+        if paradigm is not None:
+            out = [e for e in out if e.paradigm == paradigm]
+        return out
+
+    def one(self, **kwargs) -> SpeedupEstimate:
+        """The single estimate matching the filters; KeyError otherwise."""
+        matches = self.get(**kwargs)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one estimate for {kwargs}, got {len(matches)}"
+            )
+        return matches[0]
+
+    def speedup(self, **kwargs) -> float:
+        """Shortcut: the speedup of the single matching estimate."""
+        return self.one(**kwargs).speedup
+
+    def thread_counts(self) -> list[int]:
+        """Distinct thread counts present, sorted."""
+        return sorted({e.n_threads for e in self.estimates})
+
+    def to_table(self) -> str:
+        """Render as a fixed-width table, one row per (method, schedule,
+        memory-model flag), one column per thread count — the layout of the
+        paper's Fig. 12 panels."""
+        threads = self.thread_counts()
+        rows: dict[tuple, dict[int, float]] = {}
+        for e in self.estimates:
+            label = e.method + ("+mem" if e.with_memory_model else "")
+            row_key = (label, e.paradigm, e.schedule)
+            rows.setdefault(row_key, {})[e.n_threads] = e.speedup
+        header = f"{'method':<10} {'paradigm':<8} {'schedule':<10} " + " ".join(
+            f"{t:>2}-core" for t in threads
+        )
+        lines = [header, "-" * len(header)]
+        for (label, paradigm, schedule), by_t in sorted(rows.items()):
+            cells = " ".join(
+                f"{by_t[t]:>7.2f}" if t in by_t else f"{'-':>7}" for t in threads
+            )
+            lines.append(f"{label:<10} {paradigm:<8} {schedule:<10} {cells}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (same layout as
+        :meth:`to_table`), for reports written to disk."""
+        threads = self.thread_counts()
+        rows: dict[tuple, dict[int, float]] = {}
+        for e in self.estimates:
+            label = e.method + ("+mem" if e.with_memory_model else "")
+            rows.setdefault((label, e.paradigm, e.schedule), {})[e.n_threads] = (
+                e.speedup
+            )
+        header = (
+            "| method | paradigm | schedule | "
+            + " | ".join(f"{t}-core" for t in threads)
+            + " |"
+        )
+        sep = "|" + "---|" * (3 + len(threads))
+        lines = [header, sep]
+        for (label, paradigm, schedule), by_t in sorted(rows.items()):
+            cells = " | ".join(
+                f"{by_t[t]:.2f}" if t in by_t else "-" for t in threads
+            )
+            lines.append(f"| {label} | {paradigm} | {schedule} | {cells} |")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates)
+
+
+def error_ratio(predicted: float, real: float) -> float:
+    """Relative prediction error |pred − real| / real (the paper's metric)."""
+    if real == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - real) / abs(real)

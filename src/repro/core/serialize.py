@@ -1,0 +1,193 @@
+"""Profile persistence: save/load program profiles as JSON.
+
+Profiling is the expensive step of the workflow (it runs the whole annotated
+program); emulation is cheap and parameterised.  Persisting profiles lets a
+user profile once and re-predict under different thread counts, schedules,
+and paradigms later — or on another machine's calibration.
+
+The program tree is a DAG after dictionary compression (shared canonical
+subtrees), so nodes are serialised as a flat table keyed by id with child
+references, preserving sharing exactly; a round-trip neither duplicates
+shared nodes nor changes any measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.core.compress import CompressionStats
+from repro.core.profiler import ProfileStats, ProgramProfile, SectionCounters
+from repro.core.tree import Node, NodeKind, ProgramTree
+from repro.errors import ConfigurationError
+from repro.simhw.counters import CounterSet
+from repro.simhw.machine import MachineConfig
+
+#: Format version; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------------ tree
+
+
+def tree_to_dict(tree: ProgramTree) -> dict[str, Any]:
+    """Flatten a (possibly DAG-shaped) tree into an id-keyed node table."""
+    ids: dict[int, int] = {}
+    nodes: list[dict[str, Any]] = []
+
+    def visit(node: Node) -> int:
+        key = id(node)
+        if key in ids:
+            return ids[key]
+        # Reserve the slot before recursing (children cannot cycle back —
+        # trees/DAGs only — but this keeps ids in discovery order).
+        idx = len(nodes)
+        ids[key] = idx
+        nodes.append({})
+        nodes[idx] = {
+            "kind": node.kind.value,
+            "name": node.name,
+            "length": node.length,
+            "lock_id": node.lock_id,
+            "repeat": node.repeat,
+            "cpu_cycles": node.cpu_cycles,
+            "instructions": node.instructions,
+            "llc_misses": node.llc_misses,
+            "nowait": node.nowait,
+            "pipeline": node.pipeline,
+            "children": [visit(c) for c in node.children],
+        }
+        return idx
+
+    root_idx = visit(tree.root)
+    return {"root": root_idx, "nodes": nodes}
+
+
+def tree_from_dict(data: dict[str, Any]) -> ProgramTree:
+    """Rebuild a tree/DAG from :func:`tree_to_dict` output."""
+    raw_nodes = data["nodes"]
+    built: list[Node | None] = [None] * len(raw_nodes)
+
+    def build(idx: int) -> Node:
+        cached = built[idx]
+        if cached is not None:
+            return cached
+        raw = raw_nodes[idx]
+        node = Node(
+            NodeKind(raw["kind"]),
+            name=raw["name"],
+            length=raw["length"],
+            lock_id=raw["lock_id"],
+            repeat=raw["repeat"],
+            cpu_cycles=raw["cpu_cycles"],
+            instructions=raw["instructions"],
+            llc_misses=raw["llc_misses"],
+            nowait=raw["nowait"],
+        )
+        node.pipeline = raw.get("pipeline", False)
+        built[idx] = node
+        node.children = [build(c) for c in raw["children"]]
+        return node
+
+    return ProgramTree(build(data["root"]))
+
+
+# ------------------------------------------------------------------ profile
+
+
+def profile_to_dict(profile: ProgramProfile) -> dict[str, Any]:
+    """Serialise a whole profile (tree, counters, machine, burdens)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "machine": {
+            "n_cores": profile.machine.n_cores,
+            "freq_ghz": profile.machine.freq_ghz,
+            "line_size": profile.machine.line_size,
+            "llc_bytes": profile.machine.llc_bytes,
+            "llc_assoc": profile.machine.llc_assoc,
+            "base_miss_stall": profile.machine.base_miss_stall,
+            "dram_peak_gbs": profile.machine.dram_peak_gbs,
+            "dram_queue_gain": profile.machine.dram_queue_gain,
+            "timeslice_cycles": profile.machine.timeslice_cycles,
+            "tracer_overhead_cycles": profile.machine.tracer_overhead_cycles,
+        },
+        "tree": tree_to_dict(profile.tree),
+        "sections": {
+            name: {
+                "instructions": sc.total.instructions,
+                "cycles": sc.total.cycles,
+                "llc_misses": sc.total.llc_misses,
+                "invocations": sc.invocations,
+            }
+            for name, sc in profile.sections.items()
+        },
+        "stats": {
+            "net_program_cycles": profile.stats.net_program_cycles,
+            "gross_tracer_cycles": profile.stats.gross_tracer_cycles,
+            "annotation_events": profile.stats.annotation_events,
+        },
+        "compression": (
+            {
+                "logical_nodes": profile.compression.logical_nodes,
+                "nodes_before": profile.compression.nodes_before,
+                "nodes_after": profile.compression.nodes_after,
+            }
+            if profile.compression is not None
+            else None
+        ),
+        "burdens": {
+            name: {str(t): beta for t, beta in table.items()}
+            for name, table in profile.burdens.items()
+        },
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> ProgramProfile:
+    """Rebuild a profile serialised by :func:`profile_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported profile format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    machine = MachineConfig(**data["machine"])
+    tree = tree_from_dict(data["tree"])
+    sections = {
+        name: SectionCounters(
+            name=name,
+            total=CounterSet(
+                instructions=raw["instructions"],
+                cycles=raw["cycles"],
+                llc_misses=raw["llc_misses"],
+            ),
+            invocations=raw["invocations"],
+        )
+        for name, raw in data["sections"].items()
+    }
+    stats = ProfileStats(**data["stats"])
+    compression = (
+        CompressionStats(**data["compression"])
+        if data.get("compression") is not None
+        else None
+    )
+    profile = ProgramProfile(
+        tree=tree,
+        sections=sections,
+        machine=machine,
+        stats=stats,
+        compression=compression,
+    )
+    for name, table in data.get("burdens", {}).items():
+        profile.burdens[name] = {int(t): beta for t, beta in table.items()}
+    return profile
+
+
+def save_profile(profile: ProgramProfile, path: Union[str, Path]) -> None:
+    """Write a profile to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(profile_to_dict(profile)))
+
+
+def load_profile(path: Union[str, Path]) -> ProgramProfile:
+    """Read a profile written by :func:`save_profile`."""
+    return profile_from_dict(json.loads(Path(path).read_text()))

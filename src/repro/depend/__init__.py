@@ -1,0 +1,45 @@
+"""Dynamic data-dependence analysis for annotation assistance.
+
+Paper Section IV-A: "The annotation is currently a manual process.  However,
+this step can be made fully or semi-automatic by several techniques: (1)
+traditional static analyses from compilers, (2) dynamic dependence analyses
+[20, 21, 24, 25, 27], ..." — reference [20] being SD3 (Kim, Kim, Luk,
+MICRO-43), the same first author's dependence profiler.
+
+This package implements that assistance path in SD3's spirit:
+
+- :mod:`repro.depend.stride` — the memory-efficient representation: strided
+  address sets (start/stride/count) with exact intersection tests, instead
+  of materialised address lists (SD3's central idea);
+- :mod:`repro.depend.profiler` — a loop dependence profiler that records
+  per-iteration read/write sets and classifies cross-iteration flow (RAW),
+  anti (WAR), and output (WAW) dependences, with reduction-pattern
+  detection;
+- :mod:`repro.depend.suggest` — turns a dependence report into annotation
+  advice: DOALL (wrap in PAR_SEC/PAR_TASK), reduction (protect with
+  LOCK_BEGIN/END), privatizable (rename per-iteration temporaries), or
+  serial (loop-carried flow dependence).
+"""
+
+from repro.depend.stride import StrideRange, ranges_intersect
+from repro.depend.profiler import (
+    AccessKind,
+    Dependence,
+    DependenceKind,
+    DependenceReport,
+    LoopDependenceProfiler,
+)
+from repro.depend.suggest import AnnotationAdvice, Parallelizability, suggest
+
+__all__ = [
+    "StrideRange",
+    "ranges_intersect",
+    "AccessKind",
+    "Dependence",
+    "DependenceKind",
+    "DependenceReport",
+    "LoopDependenceProfiler",
+    "AnnotationAdvice",
+    "Parallelizability",
+    "suggest",
+]

@@ -1,0 +1,228 @@
+"""Loop dependence profiling over strided access sets.
+
+Usage::
+
+    dp = LoopDependenceProfiler("outer_loop")
+    for i in range(n):
+        with dp.iteration():
+            dp.read(StrideRange.block(base_a + 8 * i, 8))
+            dp.write(StrideRange.single(base_sum))     # reduction cell
+    report = dp.finish()
+
+The profiler records each iteration's read and write sets and, at
+:meth:`finish`, classifies every *cross-iteration* dependence:
+
+- **flow (RAW)** — a later iteration reads what an earlier one wrote: the
+  true parallelization blocker;
+- **anti (WAR)** — a later iteration overwrites what an earlier one read;
+- **output (WAW)** — two iterations write the same location.
+
+Anti/output dependences on the same address in *every* iteration combined
+with a read of that address (read-modify-write) are flagged as **reduction
+candidates** — parallelizable with a critical section, exactly the pattern
+the paper's LOCK annotations protect.
+
+Checking is pairwise over compressed stride descriptors (SD3-style), not
+expanded addresses; consecutive iterations are compared against a running
+summary so cost stays O(iterations × descriptors²) with small constants.
+"""
+
+from __future__ import annotations
+
+import enum
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.depend.stride import StrideRange, ranges_intersect
+from repro.errors import ConfigurationError
+
+
+class AccessKind(enum.Enum):
+    """Read or write."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class DependenceKind(enum.Enum):
+    """Cross-iteration dependence classes (flow/anti/output)."""
+
+    FLOW = "flow"  # RAW
+    ANTI = "anti"  # WAR
+    OUTPUT = "output"  # WAW
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One detected cross-iteration dependence (witness pair)."""
+
+    kind: DependenceKind
+    src_iteration: int
+    dst_iteration: int
+    src_range: StrideRange
+    dst_range: StrideRange
+
+    @property
+    def distance(self) -> int:
+        return self.dst_iteration - self.src_iteration
+
+
+@dataclass
+class DependenceReport:
+    """Classification of a loop's cross-iteration dependences."""
+
+    loop_name: str
+    n_iterations: int
+    dependences: list[Dependence] = field(default_factory=list)
+    #: Addresses written by (essentially) every iteration AND read by the
+    #: same iterations: read-modify-write accumulator cells.
+    reduction_ranges: list[StrideRange] = field(default_factory=list)
+
+    def of_kind(self, kind: DependenceKind) -> list[Dependence]:
+        """All witnesses of one dependence kind."""
+        return [d for d in self.dependences if d.kind is kind]
+
+    @property
+    def has_flow(self) -> bool:
+        return any(d.kind is DependenceKind.FLOW for d in self.dependences)
+
+    def flow_outside_reductions(self) -> list[Dependence]:
+        """Flow dependences not explained by a reduction accumulator."""
+        out = []
+        for d in self.of_kind(DependenceKind.FLOW):
+            if not any(
+                ranges_intersect(d.src_range, r) for r in self.reduction_ranges
+            ):
+                out.append(d)
+        return out
+
+    @property
+    def is_doall(self) -> bool:
+        """True when no cross-iteration dependence of any kind exists."""
+        return not self.dependences
+
+
+class _IterationLog:
+    __slots__ = ("index", "reads", "writes")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.reads: list[StrideRange] = []
+        self.writes: list[StrideRange] = []
+
+
+class LoopDependenceProfiler:
+    """Records per-iteration access sets and derives a dependence report."""
+
+    def __init__(self, loop_name: str = "loop", max_witnesses: int = 64) -> None:
+        self.loop_name = loop_name
+        self.max_witnesses = max_witnesses
+        self._iterations: list[_IterationLog] = []
+        self._current: Optional[_IterationLog] = None
+        self._finished = False
+
+    # -------------------------------------------------------------- recording
+
+    @contextlib.contextmanager
+    def iteration(self) -> Iterator[None]:
+        """``with dp.iteration():`` — bracket one loop iteration."""
+        if self._finished:
+            raise ConfigurationError("profiler already finished")
+        if self._current is not None:
+            raise ConfigurationError("iterations cannot nest")
+        self._current = _IterationLog(len(self._iterations))
+        try:
+            yield
+        finally:
+            self._iterations.append(self._current)
+            self._current = None
+
+    def read(self, r: StrideRange) -> None:
+        """Record a read of the strided address set ``r``."""
+        self._record(AccessKind.READ, r)
+
+    def write(self, r: StrideRange) -> None:
+        """Record a write of the strided address set ``r``."""
+        self._record(AccessKind.WRITE, r)
+
+    def _record(self, kind: AccessKind, r: StrideRange) -> None:
+        if self._current is None:
+            raise ConfigurationError("access recorded outside an iteration")
+        if kind is AccessKind.READ:
+            self._current.reads.append(r)
+        else:
+            self._current.writes.append(r)
+
+    # -------------------------------------------------------------- analysis
+
+    def finish(self) -> DependenceReport:
+        """Close the loop and classify all cross-iteration dependences."""
+        if self._current is not None:
+            raise ConfigurationError("finish() called inside an iteration")
+        self._finished = True
+        report = DependenceReport(
+            loop_name=self.loop_name, n_iterations=len(self._iterations)
+        )
+
+        # Running summaries of everything earlier iterations read/wrote:
+        # (range, iteration) pairs — the SD3-style compressed history.
+        past_writes: list[tuple[StrideRange, int]] = []
+        past_reads: list[tuple[StrideRange, int]] = []
+
+        for it in self._iterations:
+            if len(report.dependences) < self.max_witnesses:
+                for w, src in past_writes:
+                    for r in it.reads:
+                        if ranges_intersect(w, r):
+                            report.dependences.append(
+                                Dependence(DependenceKind.FLOW, src, it.index, w, r)
+                            )
+                            break
+                for r, src in past_reads:
+                    for w in it.writes:
+                        if ranges_intersect(r, w):
+                            report.dependences.append(
+                                Dependence(DependenceKind.ANTI, src, it.index, r, w)
+                            )
+                            break
+                for w, src in past_writes:
+                    for w2 in it.writes:
+                        if ranges_intersect(w, w2):
+                            report.dependences.append(
+                                Dependence(
+                                    DependenceKind.OUTPUT, src, it.index, w, w2
+                                )
+                            )
+                            break
+            for w in it.writes:
+                past_writes.append((w, it.index))
+            for r in it.reads:
+                past_reads.append((r, it.index))
+
+        report.reduction_ranges = self._find_reductions()
+        return report
+
+    def _find_reductions(self) -> list[StrideRange]:
+        """Ranges written AND read by every iteration (read-modify-write):
+        the accumulator pattern a critical section makes parallel-safe."""
+        if len(self._iterations) < 2:
+            return []
+        candidates = list(self._iterations[0].writes)
+        for it in self._iterations[1:]:
+            candidates = [
+                c
+                for c in candidates
+                if any(ranges_intersect(c, w) for w in it.writes)
+            ]
+            if not candidates:
+                return []
+        # Must also be read in (all) iterations: read-modify-write.
+        return [
+            c
+            for c in candidates
+            if all(
+                any(ranges_intersect(c, r) for r in it.reads)
+                for it in self._iterations
+            )
+        ]

@@ -1,0 +1,121 @@
+"""Strided address sets with exact intersection tests (SD3's core idea).
+
+A dependence profiler that stores every accessed address exhausts memory on
+real programs; SD3 [20] observes that most access streams are *strided* and
+keeps ``(start, stride, count)`` descriptors instead, checking dependences
+directly on the compressed form.  This module implements that representation
+and the exact overlap test:
+
+    does  {s₁ + i·d₁ : 0 ≤ i < n₁}  ∩  {s₂ + j·d₂ : 0 ≤ j < n₂}  ≠ ∅ ?
+
+Solved with the extended Euclidean algorithm: the linear Diophantine
+equation ``i·d₁ − j·d₂ = s₂ − s₁`` has solutions iff ``gcd(d₁, d₂)`` divides
+the offset; the solution family is then intersected with the index
+rectangle ``[0, n₁) × [0, n₂)`` (a one-dimensional interval problem after
+parameterisation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StrideRange:
+    """The address set ``{start + i * stride : 0 <= i < count}``.
+
+    ``stride == 0`` with any count collapses to the single address
+    ``start`` (and is normalised to count 1).
+    """
+
+    start: int
+    stride: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
+        if self.stride < 0:
+            # Normalise negative strides to positive direction.
+            object.__setattr__(
+                self, "start", self.start + self.stride * (self.count - 1)
+            )
+            object.__setattr__(self, "stride", -self.stride)
+        if self.stride == 0 and self.count != 1:
+            object.__setattr__(self, "count", 1)
+
+    @staticmethod
+    def single(address: int) -> "StrideRange":
+        return StrideRange(address, 0, 1)
+
+    @staticmethod
+    def block(start: int, size: int, element: int = 1) -> "StrideRange":
+        """A contiguous block of ``size`` elements of ``element`` bytes."""
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        return StrideRange(start, element, size)
+
+    @property
+    def last(self) -> int:
+        return self.start + self.stride * (self.count - 1)
+
+    def addresses(self) -> list[int]:
+        """Materialise the set (testing/debugging only)."""
+        return [self.start + i * self.stride for i in range(self.count)]
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` is a member of the set."""
+        if self.stride == 0:
+            return address == self.start
+        offset = address - self.start
+        return 0 <= offset <= self.stride * (self.count - 1) and offset % self.stride == 0
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def ranges_intersect(a: StrideRange, b: StrideRange) -> bool:
+    """Exact non-empty-intersection test for two strided sets."""
+    # Quick interval rejection.
+    if a.last < b.start or b.last < a.start:
+        return False
+    if a.stride == 0:
+        return b.contains(a.start)
+    if b.stride == 0:
+        return a.contains(b.start)
+
+    # Solve i*da - j*db = b.start - a.start with 0<=i<na, 0<=j<nb.
+    da, db = a.stride, b.stride
+    offset = b.start - a.start
+    g = math.gcd(da, db)
+    if offset % g != 0:
+        return False
+    # Particular solution of i*da ≡ offset (mod db): i0 = (offset/g) * inv(da/g, db/g)
+    da_g, db_g = da // g, db // g
+    inv = pow(da_g % db_g, -1, db_g) if db_g > 1 else 0
+    i0 = ((offset // g) % db_g) * inv % db_g if db_g > 1 else 0
+    # General solution: i = i0 + t*db_g (t integer); j follows from i.
+    # Find any t with 0 <= i < a.count and the induced j within [0, b.count).
+    # i ranges over an arithmetic progression; j = (i*da - offset)/db.
+    # Constraints on i from j-bounds:
+    #   0 <= (i*da - offset)/db < b.count
+    #   offset/da <= i  (j >= 0)  and  i*da < offset + db*b.count.
+    # Work in t-space: i(t) = i0 + t*db_g.
+    #   t_min from i >= max(0, ceil(offset/da))   [j >= 0 requires i*da >= offset]
+    #   t_max from i <= min(a.count-1, floor((offset + db*(b.count-1)) / da))
+    lo_i = max(0, -(-offset // da) if offset > 0 else 0)
+    hi_i = min(a.count - 1, (offset + db * (b.count - 1)) // da)
+    if lo_i > hi_i:
+        return False
+    # Smallest i >= lo_i congruent to i0 (mod db_g).
+    delta = (i0 - lo_i) % db_g
+    first_i = lo_i + delta
+    return first_i <= hi_i
+
+
+def total_addresses(ranges: list[StrideRange]) -> int:
+    """Sum of set sizes (an upper bound on distinct addresses)."""
+    return sum(r.count for r in ranges)

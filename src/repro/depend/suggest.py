@@ -1,0 +1,108 @@
+"""Annotation advice from dependence reports (the paper's semi-automatic
+annotation path, Section IV-A).
+
+Maps a :class:`~repro.depend.profiler.DependenceReport` to one of four
+verdicts and the matching Parallel Prophet annotations:
+
+- ``DOALL`` — no cross-iteration dependences: wrap the loop in
+  ``PAR_SEC_BEGIN/END`` with one ``PAR_TASK`` per iteration.
+- ``REDUCTION`` — the only flow dependences are read-modify-write
+  accumulators: parallelizable with ``LOCK_BEGIN/END`` around the update
+  (the paper's multiple-critical-sections support exists for exactly this).
+- ``PRIVATIZABLE`` — only anti/output dependences: per-iteration temporaries
+  can be renamed (privatised), after which the loop is DOALL.
+- ``SERIAL`` — genuine loop-carried flow dependences: do not annotate; the
+  loop would need restructuring (or pipelining).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.depend.profiler import DependenceKind, DependenceReport
+
+
+class Parallelizability(enum.Enum):
+    """The suggester's four verdicts."""
+
+    DOALL = "doall"
+    REDUCTION = "reduction"
+    PRIVATIZABLE = "privatizable"
+    SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class AnnotationAdvice:
+    """The suggester's output for one loop."""
+
+    loop_name: str
+    verdict: Parallelizability
+    #: Human-readable annotation instructions.
+    instructions: tuple[str, ...]
+    #: Number of distinct lock ids the suggestion needs (reductions).
+    locks_needed: int = 0
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering of the advice."""
+        lines = [f"loop {self.loop_name!r}: {self.verdict.value}"]
+        lines += [f"  - {step}" for step in self.instructions]
+        return "\n".join(lines)
+
+
+def suggest(report: DependenceReport) -> AnnotationAdvice:
+    """Annotation advice for one profiled loop."""
+    name = report.loop_name
+
+    if report.is_doall:
+        return AnnotationAdvice(
+            loop_name=name,
+            verdict=Parallelizability.DOALL,
+            instructions=(
+                f"PAR_SEC_BEGIN(\"{name}\") before the loop",
+                "PAR_TASK_BEGIN/END around each iteration body",
+                f"PAR_SEC_END(true) after the loop",
+            ),
+        )
+
+    blocking_flow = report.flow_outside_reductions()
+    if not blocking_flow and report.reduction_ranges:
+        return AnnotationAdvice(
+            loop_name=name,
+            verdict=Parallelizability.REDUCTION,
+            instructions=(
+                f"PAR_SEC_BEGIN(\"{name}\") / PAR_TASK pairs as for a DOALL loop",
+                "LOCK_BEGIN(1)/LOCK_END(1) around each accumulator update "
+                f"({len(report.reduction_ranges)} accumulator cell(s) found)",
+            ),
+            locks_needed=1,
+        )
+
+    if not report.has_flow:
+        # Only anti/output dependences: privatise, then DOALL.
+        conflicted = {
+            (d.src_range.start, d.src_range.stride, d.src_range.count)
+            for d in report.dependences
+            if d.kind in (DependenceKind.ANTI, DependenceKind.OUTPUT)
+        }
+        return AnnotationAdvice(
+            loop_name=name,
+            verdict=Parallelizability.PRIVATIZABLE,
+            instructions=(
+                f"privatise {len(conflicted)} per-iteration temporary "
+                "location(s) (one copy per task)",
+                "then annotate as a DOALL loop",
+            ),
+        )
+
+    return AnnotationAdvice(
+        loop_name=name,
+        verdict=Parallelizability.SERIAL,
+        instructions=(
+            f"{len(blocking_flow)} loop-carried flow dependence(s) detected "
+            f"(e.g. iteration {blocking_flow[0].src_iteration} -> "
+            f"{blocking_flow[0].dst_iteration})",
+            "do not annotate as parallel; consider restructuring or a "
+            "pipeline (section(..., pipeline=True))",
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Parallel Prophet reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish annotation misuse from simulator faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AnnotationError(ReproError):
+    """Annotation misuse: mismatched BEGIN/END pairs, nesting violations,
+    releasing a lock that is not held, or annotations outside a profile run.
+
+    The paper (Section IV-B) specifies that interval profiling matches each
+    ``*_END`` against the top of the annotation stack and "if they do not
+    match, an error is reported" — this is that error.
+    """
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency inside the discrete-event simulation, e.g.
+    time moving backwards, a thread scheduled on two cores, or a deadlock
+    (no runnable thread while threads remain blocked)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated system can make no further progress: every live thread
+    is blocked on a lock, barrier, or join that can never be satisfied."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid machine, runtime, or model configuration values."""
+
+
+class CalibrationError(ReproError):
+    """The memory-model calibration (Eqs. 6 and 7 fitting) failed, e.g. the
+    microbenchmark produced too few points or a degenerate fit."""
+
+
+class EmulationError(ReproError):
+    """An emulator (fast-forward or synthesizer) encountered a program tree
+    it cannot emulate, e.g. an unknown node kind or an unsupported paradigm."""

@@ -1,0 +1,36 @@
+"""Parallel runtimes on top of the simulated OS.
+
+Two threading paradigms, mirroring the paper's targets (Section III):
+
+- :mod:`repro.runtime.openmp` — an OpenMP 2.0-style runtime: fork/join
+  thread teams per parallel region, ``static`` / ``static,c`` / ``dynamic,c``
+  loop scheduling, implicit end-of-region barriers, and *physical* nested
+  teams (oversubscription), which is exactly why naive nested OpenMP scales
+  poorly in the paper's Fig. 1(b) discussion.
+- :mod:`repro.runtime.cilk` — a Cilk Plus-style work-stealing task pool:
+  per-worker deques, child stealing, ``spawn``/``sync``, and a recursive
+  divide-and-conquer ``cilk_for``.
+
+All runtime costs (fork, chunk dispatch, steal, lock handling) are explicit
+:class:`~repro.runtime.overhead.RuntimeOverheads` constants paid as compute
+requests, so the fast-forward emulator can consume the very same numbers —
+the paper obtains them from the EPCC microbenchmarks [8]; we obtain them from
+:func:`repro.runtime.overhead.measure_overheads` run on the simulator.
+"""
+
+from repro.runtime.overhead import RuntimeOverheads, measure_overheads
+from repro.runtime.tasks import Schedule, ScheduleKind, TaskBody
+from repro.runtime.openmp import OmpRuntime
+from repro.runtime.cilk import CilkPool
+from repro.runtime.omptask import OmpTaskPool
+
+__all__ = [
+    "RuntimeOverheads",
+    "measure_overheads",
+    "Schedule",
+    "ScheduleKind",
+    "TaskBody",
+    "OmpRuntime",
+    "CilkPool",
+    "OmpTaskPool",
+]

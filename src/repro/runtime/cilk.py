@@ -1,0 +1,257 @@
+"""Cilk Plus-style work-stealing runtime on the simulated OS.
+
+A :class:`CilkPool` owns ``n_workers`` simulated threads, each with a
+double-ended task queue.  Semantics follow the child-stealing / help-first
+model (as in TBB and practical Cilk runtimes):
+
+- ``spawn`` pushes a child task on the *bottom* of the current worker's
+  deque;
+- an idle worker pops its own bottom (LIFO — cache-friendly depth-first) or
+  steals from the *top* of a victim's deque (FIFO — the oldest, largest
+  piece of work), scanning victims round-robin for determinism;
+- ``sync`` does not block while useful work exists: the syncing worker
+  executes its own or stolen tasks until the awaited children finish
+  (help-first), parking on the pool event only when the whole pool is dry;
+- every task has an *implicit sync* before completion, as in Cilk.
+
+``cilk_for`` is the recursive binary splitting used by real Cilk Plus: the
+range halves until it reaches the grain size (default ``ceil(n / (8·P))``),
+so load balance emerges from stealing — which is why recursive/nested
+parallelism that defeats naive OpenMP teams works here (paper Fig. 1(b)).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+from repro.simos import (
+    Compute,
+    EventClear,
+    EventSet,
+    EventWait,
+    Join,
+    SimEvent,
+    SimKernel,
+    Spawn,
+)
+
+#: A Cilk task body: takes the executing context, yields sim-OS requests.
+CilkBody = Callable[["CilkContext"], Generator[Any, Any, Any]]
+
+
+class CilkTask:
+    """A spawned task frame."""
+
+    __slots__ = ("factory", "parent", "pending_children", "waiting", "done")
+
+    def __init__(self, factory: CilkBody, parent: Optional["CilkTask"]) -> None:
+        self.factory = factory
+        self.parent = parent
+        self.pending_children = 0
+        #: True while the owning worker is parked in this task's sync.
+        self.waiting = False
+        self.done = False
+
+
+class CilkContext:
+    """Execution context handed to a running task body."""
+
+    __slots__ = ("pool", "wid", "task")
+
+    def __init__(self, pool: "CilkPool", wid: int, task: CilkTask) -> None:
+        self.pool = pool
+        self.wid = wid
+        self.task = task
+
+    def spawn(self, factory: CilkBody) -> Generator[Any, Any, CilkTask]:
+        """``cilk_spawn``: enqueue a child task; returns its handle."""
+        pool = self.pool
+        yield Compute(cycles=pool.overheads.cilk_spawn)
+        child = CilkTask(factory, parent=self.task)
+        self.task.pending_children += 1
+        pool.deques[self.wid].append(child)
+        pool.spawns += 1
+        if pool.work_event.waiters:
+            yield from pool._notify()
+        return child
+
+    def sync(self) -> Generator[Any, Any, None]:
+        """``cilk_sync``: wait for this task's children, helping meanwhile."""
+        yield from self.pool._sync_loop(self.wid, self.task)
+
+    def call(self, factory: CilkBody) -> Generator[Any, Any, Any]:
+        """A plain (non-spawned) call of a child body, as in line 12 of the
+        paper's FFT example — runs inline on this worker."""
+        child = CilkTask(factory, parent=self.task)
+        return self.pool._run_body(self.wid, child)
+
+
+class CilkPool:
+    """A work-stealing pool of simulated worker threads."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        n_workers: int,
+        overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.kernel = kernel
+        self.n_workers = n_workers
+        self.overheads = overheads
+        self.deques: list[deque[CilkTask]] = [deque() for _ in range(n_workers)]
+        self.work_event = SimEvent("cilk-work")
+        self.stopping = False
+        self.root: Optional[CilkTask] = None
+        #: Statistics.
+        self.steals = 0
+        self.spawns = 0
+        self.tasks_run = 0
+
+    # -- public entry ------------------------------------------------------------
+
+    def run(self, root_factory: CilkBody) -> Generator[Any, Any, None]:
+        """Run ``root_factory`` to completion on this pool.
+
+        Must be driven with ``yield from`` by a simulated thread, which
+        becomes worker 0; ``n_workers − 1`` extra OS threads are spawned and
+        joined before returning (one pool per estimate, matching the paper's
+        per-section ``__cilkrts_set_param`` + measurement discipline).
+        """
+        self.stopping = False
+        self.root = CilkTask(root_factory, parent=None)
+        self.deques[0].append(self.root)
+        workers = []
+        for wid in range(1, self.n_workers):
+            gen = self._worker_loop(wid)
+            w = yield Spawn(gen, name=f"cilk-w{wid}")
+            workers.append(w)
+        yield from self._master_loop()
+        for w in workers:
+            yield Join(w)
+        self.root = None
+
+    def cilk_for(
+        self,
+        ctx: CilkContext,
+        bodies: Sequence[CilkBody],
+        grain: Optional[int] = None,
+    ) -> Generator[Any, Any, None]:
+        """``cilk_for`` over ``bodies`` with recursive binary splitting.
+
+        Each body receives the :class:`CilkContext` of the worker that
+        actually executes it (which differs from ``ctx`` when its range
+        chunk was stolen), so nested spawns land on the right deque.
+        """
+        n = len(bodies)
+        if n == 0:
+            return
+        if grain is None:
+            grain = max(1, math.ceil(n / (8 * self.n_workers)))
+        yield from self._for_range(ctx, bodies, 0, n, grain)
+
+    # -- worker machinery -----------------------------------------------------------
+
+    def _notify(self) -> Generator[Any, Any, None]:
+        yield EventSet(self.work_event, wake="all")
+        yield EventClear(self.work_event)
+
+    def _find_task(self, wid: int) -> tuple[Optional[CilkTask], bool]:
+        """Pop own bottom, else steal a victim's top.  Returns (task, stolen)."""
+        own = self.deques[wid]
+        if own:
+            return own.pop(), False
+        for offset in range(1, self.n_workers):
+            victim = self.deques[(wid + offset) % self.n_workers]
+            if victim:
+                self.steals += 1
+                return victim.popleft(), True
+        return None, False
+
+    def _worker_loop(self, wid: int) -> Generator[Any, Any, None]:
+        yield Compute(cycles=self.overheads.cilk_pool_start_per_worker)
+        while True:
+            task, stolen = self._find_task(wid)
+            if task is None:
+                if self.stopping:
+                    return
+                yield EventWait(self.work_event)
+                continue
+            yield from self._execute(wid, task, stolen)
+
+    def _master_loop(self) -> Generator[Any, Any, None]:
+        root = self.root
+        assert root is not None
+        while not root.done:
+            task, stolen = self._find_task(0)
+            if task is None:
+                yield EventWait(self.work_event)
+                continue
+            yield from self._execute(0, task, stolen)
+        self.stopping = True
+        yield from self._notify()
+
+    def _execute(
+        self, wid: int, task: CilkTask, stolen: bool
+    ) -> Generator[Any, Any, None]:
+        if stolen:
+            yield Compute(cycles=self.overheads.cilk_steal)
+        yield Compute(cycles=self.overheads.cilk_task_run)
+        yield from self._run_body(wid, task)
+
+    def _run_body(self, wid: int, task: CilkTask) -> Generator[Any, Any, Any]:
+        self.tasks_run += 1
+        ctx = CilkContext(self, wid, task)
+        result = yield from task.factory(ctx)
+        # Implicit sync: a Cilk function does not return while its children run.
+        if task.pending_children > 0:
+            yield from self._sync_loop(wid, task)
+        task.done = True
+        parent = task.parent
+        if parent is not None:
+            parent.pending_children -= 1
+            if parent.pending_children == 0 and parent.waiting:
+                yield from self._notify()
+        elif task is self.root:
+            yield from self._notify()
+        return result
+
+    def _sync_loop(self, wid: int, task: CilkTask) -> Generator[Any, Any, None]:
+        while task.pending_children > 0:
+            sub, stolen = self._find_task(wid)
+            if sub is not None:
+                yield from self._execute(wid, sub, stolen)
+                continue
+            task.waiting = True
+            yield EventWait(self.work_event)
+            task.waiting = False
+
+    def _for_range(
+        self,
+        ctx: CilkContext,
+        bodies: Sequence[CilkBody],
+        lo: int,
+        hi: int,
+        grain: int,
+    ) -> Generator[Any, Any, None]:
+        while hi - lo > grain:
+            mid = (lo + hi) // 2
+            upper = self._make_range_task(bodies, mid, hi, grain)
+            yield from ctx.spawn(upper)
+            hi = mid
+        for i in range(lo, hi):
+            yield from bodies[i](ctx)
+        yield from ctx.sync()
+
+    def _make_range_task(
+        self, bodies: Sequence[CilkBody], lo: int, hi: int, grain: int
+    ) -> CilkBody:
+        def factory(cctx: CilkContext) -> Generator[Any, Any, None]:
+            yield from self._for_range(cctx, bodies, lo, hi, grain)
+
+        return factory

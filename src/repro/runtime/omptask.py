@@ -1,0 +1,202 @@
+"""OpenMP 3.0-style task runtime (``#pragma omp task`` / ``taskwait``).
+
+Paper Section III: "a naive implementation by OpenMP's nested parallelism
+mostly yields poor speedups in these patterns because of too many spawned
+physical threads.  For such recursive parallelism, TBB, Cilk Plus, and
+OpenMP 3.0's task are much more effective."  This runtime is the third
+member of that list, so the claim can be reproduced head-to-head (see
+``benchmarks/bench_sec3_recursive_paradigms.py``).
+
+Semantics follow libgomp's tasking model, simplified to the parts that
+matter for timing:
+
+- one *team* of ``n_threads`` workers with a **shared team-wide task
+  queue** (unlike Cilk's per-worker deques — the shared queue is OpenMP's
+  classic contention point, modelled by a per-dequeue dispatch cost);
+- ``task`` enqueues a child; ``taskwait`` blocks the current task until its
+  children finish, executing other queued tasks meanwhile (task switching,
+  as untied tasks allow);
+- an implicit ``taskwait`` covers remaining children when a task body ends
+  (matching the barrier-at-end-of-parallel-region guarantee at the root).
+
+The structure mirrors :mod:`repro.runtime.cilk` so the executor can lower
+nested sections identically; the scheduling discipline (shared FIFO vs
+stealing LIFO deques) is the behavioural difference under test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
+from repro.simos import (
+    Compute,
+    EventClear,
+    EventSet,
+    EventWait,
+    Join,
+    SimEvent,
+    SimKernel,
+    Spawn,
+)
+
+#: An OpenMP task body: takes the executing context, yields sim-OS requests.
+OmpTaskBody = Callable[["OmpTaskContext"], Generator[Any, Any, Any]]
+
+
+class OmpTask:
+    """One task instance."""
+
+    __slots__ = ("factory", "parent", "pending_children", "waiting", "done")
+
+    def __init__(self, factory: OmpTaskBody, parent: Optional["OmpTask"]) -> None:
+        self.factory = factory
+        self.parent = parent
+        self.pending_children = 0
+        self.waiting = False
+        self.done = False
+
+
+class OmpTaskContext:
+    """Execution context handed to a running task body."""
+
+    __slots__ = ("pool", "wid", "task")
+
+    def __init__(self, pool: "OmpTaskPool", wid: int, task: OmpTask) -> None:
+        self.pool = pool
+        self.wid = wid
+        self.task = task
+
+    def task_spawn(self, factory: OmpTaskBody) -> Generator[Any, Any, OmpTask]:
+        """``#pragma omp task``: enqueue a child on the team queue."""
+        pool = self.pool
+        yield Compute(cycles=pool.overheads.omp_task_create)
+        child = OmpTask(factory, parent=self.task)
+        self.task.pending_children += 1
+        pool.queue.append(child)
+        pool.spawned += 1
+        if pool.work_event.waiters:
+            yield from pool._notify()
+        return child
+
+    def taskwait(self) -> Generator[Any, Any, None]:
+        """``#pragma omp taskwait``: wait for this task's children, running
+        other queued tasks meanwhile."""
+        yield from self.pool._wait_loop(self.wid, self.task)
+
+    def task_loop(
+        self, bodies: list[OmpTaskBody]
+    ) -> Generator[Any, Any, None]:
+        """A taskloop-style construct: one task per body, then taskwait."""
+        for body in bodies:
+            yield from self.task_spawn(body)
+        yield from self.taskwait()
+
+
+class OmpTaskPool:
+    """A team of workers draining a shared task queue."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        n_threads: int,
+        overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+    ) -> None:
+        if n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+        self.kernel = kernel
+        self.n_threads = n_threads
+        self.overheads = overheads
+        self.queue: deque[OmpTask] = deque()
+        self.work_event = SimEvent("omp-task-work")
+        self.stopping = False
+        self.root: Optional[OmpTask] = None
+        self.spawned = 0
+        self.tasks_run = 0
+
+    # -- public entry ------------------------------------------------------------
+
+    def run(self, root_factory: OmpTaskBody) -> Generator[Any, Any, None]:
+        """Run ``root_factory`` on this team (driven with ``yield from``)."""
+        oh = self.overheads
+        yield Compute(
+            cycles=oh.omp_fork_base + oh.omp_fork_per_thread * (self.n_threads - 1)
+        )
+        self.stopping = False
+        self.root = OmpTask(root_factory, parent=None)
+        self.queue.append(self.root)
+        workers = []
+        for wid in range(1, self.n_threads):
+            w = yield Spawn(self._worker_loop(wid), name=f"omp-task-w{wid}")
+            workers.append(w)
+        yield from self._master_loop()
+        for w in workers:
+            yield Join(w)
+        yield Compute(cycles=oh.omp_join_barrier)
+        self.root = None
+
+    # -- worker machinery -----------------------------------------------------------
+
+    def _notify(self) -> Generator[Any, Any, None]:
+        yield EventSet(self.work_event, wake="all")
+        yield EventClear(self.work_event)
+
+    def _take(self) -> Optional[OmpTask]:
+        """Dequeue from the shared team queue (FIFO, like libgomp)."""
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+    def _worker_loop(self, wid: int) -> Generator[Any, Any, None]:
+        yield Compute(cycles=self.overheads.omp_thread_start)
+        while True:
+            task = self._take()
+            if task is None:
+                if self.stopping:
+                    return
+                yield EventWait(self.work_event)
+                continue
+            yield from self._execute(wid, task)
+
+    def _master_loop(self) -> Generator[Any, Any, None]:
+        root = self.root
+        assert root is not None
+        while not root.done:
+            task = self._take()
+            if task is None:
+                yield EventWait(self.work_event)
+                continue
+            yield from self._execute(0, task)
+        self.stopping = True
+        yield from self._notify()
+
+    def _execute(self, wid: int, task: OmpTask) -> Generator[Any, Any, Any]:
+        # The shared-queue dequeue cost: OpenMP's tasking overhead.
+        yield Compute(cycles=self.overheads.omp_task_dispatch)
+        self.tasks_run += 1
+        ctx = OmpTaskContext(self, wid, task)
+        result = yield from task.factory(ctx)
+        if task.pending_children > 0:
+            # Implicit taskwait before a task completes.
+            yield from self._wait_loop(wid, task)
+        task.done = True
+        parent = task.parent
+        if parent is not None:
+            parent.pending_children -= 1
+            if parent.pending_children == 0 and parent.waiting:
+                yield from self._notify()
+        elif task is self.root:
+            yield from self._notify()
+        return result
+
+    def _wait_loop(self, wid: int, task: OmpTask) -> Generator[Any, Any, None]:
+        while task.pending_children > 0:
+            sub = self._take()
+            if sub is not None:
+                yield from self._execute(wid, sub)
+                continue
+            task.waiting = True
+            yield EventWait(self.work_event)
+            task.waiting = False

@@ -1,0 +1,47 @@
+"""Simulated hardware substrate.
+
+This package stands in for the paper's physical 12-core Westmere Xeon and its
+PAPI hardware counters.  It provides:
+
+- :mod:`repro.simhw.clock` — the virtual cycle clock every component shares.
+- :mod:`repro.simhw.machine` — machine configuration (cores, frequency, LLC,
+  DRAM bandwidth curve, OS timeslice) and conversion helpers.
+- :mod:`repro.simhw.dram` — the fluid DRAM-contention model that produces
+  bandwidth saturation and queueing delay (the phenomenon the paper's burden
+  factors predict).
+- :mod:`repro.simhw.cache` — a set-associative LRU cache simulator used to
+  validate the analytic miss models and to back trace-driven profiling.
+- :mod:`repro.simhw.memtrace` — synthetic memory access-stream generators and
+  the analytic LLC-miss models workloads use.
+- :mod:`repro.simhw.counters` — a PAPI-like performance-counter facade.
+"""
+
+from repro.simhw.clock import VirtualClock
+from repro.simhw.machine import MachineConfig, WESTMERE_12, WESTMERE_12_NUMA
+from repro.simhw.dram import DramModel, SegmentDemand
+from repro.simhw.cache import CacheConfig, SetAssociativeCache, CacheStats
+from repro.simhw.memtrace import (
+    AccessPattern,
+    MemSpec,
+    analytic_llc_misses,
+    generate_trace,
+)
+from repro.simhw.counters import CounterSet, PerfCounters
+
+__all__ = [
+    "VirtualClock",
+    "MachineConfig",
+    "WESTMERE_12",
+    "WESTMERE_12_NUMA",
+    "DramModel",
+    "SegmentDemand",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheStats",
+    "AccessPattern",
+    "MemSpec",
+    "analytic_llc_misses",
+    "generate_trace",
+    "CounterSet",
+    "PerfCounters",
+]

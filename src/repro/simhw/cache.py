@@ -1,0 +1,146 @@
+"""Set-associative LRU cache simulator.
+
+The paper's memory model needs LLC miss counts (assumption 3a: "we only
+explicitly consider LLC").  Workloads normally use the *analytic* miss models
+in :mod:`repro.simhw.memtrace` for speed; this trace-driven simulator is the
+reference implementation those models are validated against (see
+``tests/test_memtrace.py``) and the backend for trace-based profiling.
+
+The design follows the usual software-cache idiom: per-set tag arrays plus an
+age matrix for LRU, stored in NumPy arrays.  Individual accesses are processed
+in Python, but :meth:`SetAssociativeCache.access_block` accepts a whole vector
+of line addresses so callers amortise the call overhead, per the HPC guidance
+of batching work into array operations where the algorithm allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a simulated cache."""
+
+    capacity_bytes: int
+    line_size: int = 64
+    associativity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be > 0")
+        if self.line_size <= 0 or (self.line_size & (self.line_size - 1)) != 0:
+            raise ConfigurationError("line_size must be a positive power of two")
+        if self.associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if self.capacity_bytes % (self.line_size * self.associativity) != 0:
+            raise ConfigurationError(
+                "capacity must be divisible by line_size * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity_bytes // (self.line_size * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_size
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters accumulated by a cache instance."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache operating on byte addresses."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        self._n_sets = config.n_sets
+        # tags[set, way]; -1 marks an invalid way.
+        self._tags = np.full((self._n_sets, config.associativity), -1, dtype=np.int64)
+        # Monotone access counter per way for LRU; smaller is older.
+        self._age = np.zeros((self._n_sets, config.associativity), dtype=np.int64)
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._tags.fill(-1)
+        self._age.fill(0)
+        self._tick = 0
+        self.stats.reset()
+
+    # -- access paths --------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Access one byte address.  Returns ``True`` on hit."""
+        line = address >> self._line_shift
+        return self._access_line(line)
+
+    def _access_line(self, line: int) -> bool:
+        set_idx = line % self._n_sets
+        tags = self._tags[set_idx]
+        self._tick += 1
+        self.stats.accesses += 1
+        ways = np.nonzero(tags == line)[0]
+        if ways.size:
+            self._age[set_idx, ways[0]] = self._tick
+            return True
+        self.stats.misses += 1
+        invalid = np.nonzero(tags == -1)[0]
+        if invalid.size:
+            way = invalid[0]
+        else:
+            way = int(np.argmin(self._age[set_idx]))
+            self.stats.evictions += 1
+        tags[way] = line
+        self._age[set_idx, way] = self._tick
+        return False
+
+    def access_block(self, addresses: np.ndarray) -> int:
+        """Access a vector of byte addresses in order; return the number of
+        misses incurred by the block."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        lines = addresses >> self._line_shift
+        before = self.stats.misses
+        for line in lines:
+            self._access_line(int(line))
+        return self.stats.misses - before
+
+    # -- introspection --------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is currently resident."""
+        line = address >> self._line_shift
+        set_idx = line % self._n_sets
+        return bool((self._tags[set_idx] == line).any())
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return int((self._tags >= 0).sum())

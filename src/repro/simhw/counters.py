@@ -1,0 +1,95 @@
+"""PAPI-like performance counter facade.
+
+The paper collects hardware counters per top-level parallel section
+(Section IV-B): instruction count N, elapsed cycles T, and LLC misses D,
+from which the memory model derives MPI = D/N and DRAM traffic δ.  This
+module is the wrapper layer: the simulated machine *accumulates* into a
+:class:`CounterSet`, and :class:`PerfCounters` exposes start/stop semantics
+matching how the profiler brackets top-level sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.simhw.machine import MachineConfig
+
+
+@dataclass
+class CounterSet:
+    """A snapshot-or-accumulator of the three counters the model consumes."""
+
+    instructions: float = 0.0
+    cycles: float = 0.0
+    llc_misses: float = 0.0
+
+    def add(self, other: "CounterSet") -> None:
+        """Accumulate ``other`` into this set."""
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.llc_misses += other.llc_misses
+
+    def copy(self) -> "CounterSet":
+        """An independent snapshot of the current values."""
+        return CounterSet(self.instructions, self.cycles, self.llc_misses)
+
+    def __sub__(self, other: "CounterSet") -> "CounterSet":
+        return CounterSet(
+            self.instructions - other.instructions,
+            self.cycles - other.cycles,
+            self.llc_misses - other.llc_misses,
+        )
+
+    # -- derived metrics (Section V-B symbols) -------------------------------
+
+    @property
+    def mpi(self) -> float:
+        """MPI — LLC misses per instruction (D/N)."""
+        return self.llc_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Average cycles per instruction (T/N)."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def traffic_mbs(self, config: MachineConfig) -> float:
+        """δ — DRAM traffic in MB/s over the measured interval."""
+        return config.traffic_mbs(self.llc_misses, self.cycles)
+
+
+class PerfCounters:
+    """Start/stop counter collection against a live accumulator.
+
+    The machine owns one global :class:`CounterSet` accumulator that every
+    retired compute segment adds to; a :class:`PerfCounters` instance takes a
+    snapshot at ``start()`` and reports the delta at ``stop()`` — exactly the
+    discipline the profiler uses around top-level parallel sections.
+    """
+
+    def __init__(self, accumulator: CounterSet) -> None:
+        self._acc = accumulator
+        self._start: CounterSet | None = None
+        self._start_time: float | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def start(self, now: float) -> None:
+        """Snapshot the accumulator; collection runs until :meth:`stop`."""
+        if self._start is not None:
+            raise SimulationError("performance counters already running")
+        self._start = self._acc.copy()
+        self._start_time = now
+
+    def stop(self, now: float) -> CounterSet:
+        """Stop collection; returns the counter delta with ``cycles`` forced
+        to the wall-cycle interval (T is elapsed time, not a core counter)."""
+        if self._start is None or self._start_time is None:
+            raise SimulationError("performance counters are not running")
+        delta = self._acc - self._start
+        delta.cycles = now - self._start_time
+        self._start = None
+        self._start_time = None
+        return delta

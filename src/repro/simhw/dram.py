@@ -1,0 +1,178 @@
+"""Fluid DRAM-contention model.
+
+The paper's burden factors exist to predict one phenomenon: *memory resource
+contention* — DRAM bandwidth saturation plus queueing delay (Section I cites
+[7, 9]).  This module is the ground-truth source of that phenomenon in the
+simulated machine.
+
+Model
+-----
+Each running compute segment *i* is characterised by its **memory fraction**
+``f_i`` (share of its uncontended duration spent stalled on LLC misses) and
+its **demand bandwidth** ``d_i`` (bytes/s it would pull from DRAM when
+running at full speed; misses are assumed uniformly spread through the
+segment).  All segments share one stall-inflation factor ``k ≥ 1``: a
+segment's slowdown is
+
+    s_i(k) = (1 − f_i) + f_i · k,
+
+its achieved traffic is ``d_i / s_i(k)`` (misses are conserved — a slowed
+segment issues the same misses over a longer wall time), and the aggregate
+achieved bandwidth is ``A(k) = Σ d_i / s_i(k)``.
+
+``k`` is determined self-consistently:
+
+- **Below saturation** (A at the queue-only inflation still fits in the peak
+  bandwidth ``B``): ``k = q(u)`` where ``u = Δ/B`` is the demand utilisation
+  and ``q(u) = 1 + κ·u²/(1+u)`` (clamped at u = 1) models memory-controller
+  queueing — latency creeps up as the system approaches saturation.
+- **At saturation**: ``k`` solves ``A(k) = B`` exactly (monotone in ``k``,
+  solved by bisection), so the aggregate achieved bandwidth never exceeds
+  the peak, regardless of how compute-diluted the segments are.
+
+The effective stall per LLC miss observed by the simulated counters is
+``ω_eff = ω₀ · k``.  The model is deterministic and piecewise-constant
+between scheduling events, which is what lets the discrete-event kernel
+treat compute progress as piecewise-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.simhw.machine import MachineConfig
+
+#: Relative tolerance of the bandwidth-cap root solve.
+_SOLVE_TOL = 1e-9
+
+#: Ceiling of the stall multiplier; only reachable with physically
+#: inconsistent segment demands (traffic without proportional stall time).
+_K_MAX = 1e12
+
+
+@dataclass(frozen=True)
+class SegmentDemand:
+    """Memory demand of one running compute segment.
+
+    Attributes
+    ----------
+    mem_fraction:
+        Fraction of the segment's uncontended duration that is LLC-miss
+        stall time, in [0, 1].
+    demand_bytes_per_sec:
+        DRAM traffic the segment generates when running at full speed.
+    """
+
+    mem_fraction: float
+    demand_bytes_per_sec: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mem_fraction <= 1.0:
+            raise ConfigurationError(
+                f"mem_fraction must be in [0, 1], got {self.mem_fraction!r}"
+            )
+        if self.demand_bytes_per_sec < 0:
+            raise ConfigurationError(
+                f"demand_bytes_per_sec must be >= 0, got {self.demand_bytes_per_sec!r}"
+            )
+
+
+class DramModel:
+    """Self-consistent bandwidth sharing for concurrent compute segments."""
+
+    def __init__(
+        self, config: MachineConfig, peak_bytes_per_sec: float | None = None
+    ) -> None:
+        """``peak_bytes_per_sec`` overrides the pool's capacity — used for
+        per-socket pools on NUMA machines (each socket gets
+        ``config.dram_peak_bytes_per_sec_per_socket``)."""
+        self.config = config
+        self._peak = (
+            peak_bytes_per_sec
+            if peak_bytes_per_sec is not None
+            else config.dram_peak_bytes_per_sec
+        )
+        self._kappa = config.dram_queue_gain
+
+    # -- scalar curves ------------------------------------------------------
+
+    def utilisation(self, total_demand: float) -> float:
+        """u = Δ/B for aggregate demand ``total_demand`` in bytes/s."""
+        return max(0.0, total_demand) / self._peak
+
+    def queue_factor(self, u: float) -> float:
+        """q(u) — latency inflation from memory-controller queueing, clamped
+        at u = 1 (beyond saturation the serialisation is captured by the
+        bandwidth-cap solve, not by per-access latency growth)."""
+        if u <= 0.0:
+            return 1.0
+        uc = min(u, 1.0)
+        return 1.0 + self._kappa * uc * uc / (1.0 + uc)
+
+    # -- the shared inflation factor -------------------------------------------
+
+    def stall_multiplier(self, segments: Sequence[SegmentDemand]) -> float:
+        """The common factor k by which every segment's per-miss stall is
+        inflated, given the currently running set."""
+        demands = [s.demand_bytes_per_sec for s in segments]
+        total = sum(demands)
+        if total <= 0:
+            return 1.0
+        k_queue = self.queue_factor(self.utilisation(total))
+        if self._achieved(segments, k_queue) <= self._peak:
+            return k_queue
+        # Saturated: solve A(k) = B.  A is strictly decreasing in k (every
+        # segment with d_i > 0 has f_i > 0 because misses imply stall time).
+        lo, hi = k_queue, max(2.0 * k_queue, 2.0)
+        while self._achieved(segments, hi) > self._peak:
+            hi *= 2.0
+            if hi > _K_MAX:
+                # Physically inconsistent demand (huge traffic, ~zero memory
+                # fraction) cannot be throttled below peak: saturate the
+                # multiplier instead of diverging.
+                return _K_MAX
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self._achieved(segments, mid) > self._peak:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= _SOLVE_TOL * hi:
+                break
+        return 0.5 * (lo + hi)
+
+    def _achieved(self, segments: Sequence[SegmentDemand], k: float) -> float:
+        return sum(
+            s.demand_bytes_per_sec / (1.0 - s.mem_fraction + s.mem_fraction * k)
+            for s in segments
+            if s.demand_bytes_per_sec > 0
+        )
+
+    def effective_miss_stall(self, segments: Sequence[SegmentDemand]) -> float:
+        """ω_eff — stall cycles per LLC miss for the running set."""
+        return self.config.base_miss_stall * self.stall_multiplier(segments)
+
+    # -- per-segment slowdowns ----------------------------------------------
+
+    def slowdowns(self, segments: Sequence[SegmentDemand]) -> list[float]:
+        """Instantaneous slowdown factor s_i ≥ 1 for each running segment.
+
+        The returned factors convert *uncontended* cycles into wall cycles:
+        a segment with ``r`` base cycles remaining completes after
+        ``r * s_i`` wall cycles if the running set does not change.
+        """
+        if not segments:
+            return []
+        k = self.stall_multiplier(segments)
+        return [1.0 - s.mem_fraction + s.mem_fraction * k for s in segments]
+
+    def aggregate_achieved_bandwidth(
+        self, segments: Iterable[SegmentDemand]
+    ) -> float:
+        """Total bytes/s actually transferred (never exceeds the peak)."""
+        segs = list(segments)
+        if not segs:
+            return 0.0
+        return self._achieved(segs, self.stall_multiplier(segs))

@@ -1,0 +1,44 @@
+"""Annotated serial workloads mirroring the paper's benchmarks.
+
+Eight OmpSCR/NPB benchmarks (paper Section VII-A) plus the Test1/Test2
+random-program generators used for validation (Section VII-B).  Each
+workload reproduces the cost *shape* of the original kernel — imbalance,
+recursion structure, memory traffic and footprint — which is everything the
+profiler and emulators consume.
+"""
+
+from repro.workloads.base import (
+    WorkloadSpec,
+    bytes_for_mem_fraction,
+    random_access,
+    resident,
+    streaming,
+)
+from repro.workloads.registry import PAPER_ORDER, get_workload, workload_names
+from repro.workloads.synthetic import (
+    Test1Params,
+    Test2Params,
+    compute_overhead,
+    random_test1,
+    random_test2,
+    test1_program,
+    test2_program,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "bytes_for_mem_fraction",
+    "streaming",
+    "resident",
+    "random_access",
+    "get_workload",
+    "workload_names",
+    "PAPER_ORDER",
+    "Test1Params",
+    "Test2Params",
+    "compute_overhead",
+    "test1_program",
+    "test2_program",
+    "random_test1",
+    "random_test2",
+]

@@ -1,0 +1,96 @@
+"""Workload protocol and authoring helpers.
+
+A *workload* is an annotated serial program (paper Section IV-A) plus
+metadata: the paradigm it targets, its memory footprint, and the input label
+used in the paper's figure captions.  Workloads express their computation
+declaratively through :meth:`~repro.core.annotations.Tracer.compute` with
+per-segment :class:`~repro.simhw.memtrace.MemSpec` memory behaviour — the
+substitution for executing real kernels, sized so the cost *shape*
+(imbalance, recursion, traffic) matches the original benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.annotations import AnnotationProgram
+from repro.errors import ConfigurationError
+from repro.simhw.machine import MachineConfig, WESTMERE_12
+from repro.simhw.memtrace import AccessPattern, MemSpec
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One runnable workload."""
+
+    name: str
+    program: AnnotationProgram
+    paradigm: str  # "omp" | "cilk"
+    description: str
+    input_label: str  # e.g. "B/850MB", matching the paper's captions
+    footprint_mb: float
+    #: Default schedule label for OMP workloads (paper used various).
+    schedule: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.paradigm not in ("omp", "cilk"):
+            raise ConfigurationError(f"unknown paradigm {self.paradigm!r}")
+
+
+#: A factory producing a workload at a given scale (1.0 = default size;
+#: benchmarks may raise it, tests may lower it).
+WorkloadFactory = Callable[..., WorkloadSpec]
+
+
+def streaming(bytes_touched: float, working_set: Optional[float] = None) -> MemSpec:
+    """A streaming sweep over ``bytes_touched`` bytes."""
+    return MemSpec(
+        AccessPattern.STREAMING,
+        bytes_touched=int(bytes_touched),
+        working_set=int(working_set if working_set is not None else bytes_touched),
+    )
+
+
+def resident(bytes_touched: float, working_set: float) -> MemSpec:
+    """Repeated access within an LLC-resident working set."""
+    return MemSpec(
+        AccessPattern.RESIDENT,
+        bytes_touched=int(bytes_touched),
+        working_set=int(working_set),
+    )
+
+
+def random_access(bytes_touched: float, working_set: float) -> MemSpec:
+    """Uniform random accesses over ``working_set`` bytes (sparse codes)."""
+    return MemSpec(
+        AccessPattern.RANDOM,
+        bytes_touched=int(bytes_touched),
+        working_set=int(working_set),
+    )
+
+
+def bytes_for_mem_fraction(
+    cpu_cycles: float,
+    mem_fraction: float,
+    machine: MachineConfig = WESTMERE_12,
+) -> float:
+    """Bytes a streaming segment must touch so its uncontended duration is
+    ``mem_fraction`` memory-stall time.
+
+    From base = cpu + misses·ω₀ and f = misses·ω₀/base:
+    misses = f·cpu / (ω₀·(1 − f)).
+    Authoring helper for matching a kernel's compute/memory balance.
+    """
+    if not 0.0 <= mem_fraction < 1.0:
+        raise ConfigurationError(
+            f"mem_fraction must be in [0, 1), got {mem_fraction!r}"
+        )
+    if mem_fraction == 0.0:
+        return 0.0
+    misses = (
+        mem_fraction
+        * cpu_cycles
+        / (machine.base_miss_stall * (1.0 - mem_fraction))
+    )
+    return misses * machine.line_size

@@ -1,0 +1,50 @@
+"""NPB ``EP`` — embarrassingly parallel (paper Fig. 12(e), "NPB-EP: B/7MB").
+
+EP generates pairs of Gaussian deviates and tallies them: perfectly balanced
+independent batches, a 7 MB footprint that lives in cache, and one tiny
+reduction at the end.  It is the control benchmark — any predictor should
+get it right (the paper's Fig. 12(e) shows all tools near the ideal line;
+real speedup ≈ 11-12× on 12 cores).
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, resident
+
+
+def build(
+    scale: float = 1.0,
+    batches: int = 192,
+    cycles_per_batch: float = 400_000.0,
+) -> WorkloadSpec:
+    """EP; ``batches`` is the number of independent random-number batches."""
+    m = max(8, int(batches * scale))
+    footprint = 7e6
+
+    def program(tracer: Tracer) -> None:
+        with tracer.section("ep_batches"):
+            for b in range(m):
+                with tracer.task(f"b{b}"):
+                    # The RNG state and per-batch tallies are a few KB; the
+                    # 7 MB table is shared and stays cache-hot, so per-batch
+                    # traffic is tiny (EP's MPI is ~0).
+                    tracer.compute(
+                        cycles_per_batch,
+                        mem=resident(bytes_touched=4096, working_set=footprint),
+                    )
+                    # Tiny tallying critical section (the sum reduction).
+                    with tracer.lock(1):
+                        tracer.compute(300.0)
+        # Serial verification of the tallies.
+        tracer.compute(20_000.0)
+
+    return WorkloadSpec(
+        name="npb_ep",
+        program=program,
+        paradigm="omp",
+        description="NPB EP: embarrassingly parallel Gaussian-deviate batches",
+        input_label="B/7MB",
+        footprint_mb=7.0,
+        schedule="static",
+    )

@@ -1,0 +1,66 @@
+"""NPB ``IS`` — integer (bucket) sort.
+
+IS is not one of the paper's eight evaluated benchmarks, but it stars in
+Section VI-B: "IS in the NPB benchmark consumes 10 GB to build a program
+tree" — its per-iteration work depends on random key distributions, so
+run-length encoding finds no runs and the tree stays huge unless lossy
+compression is applied.
+
+This workload reproduces that pathology: per-bucket counting/ranking costs
+are drawn from a seeded heavy-tailed distribution, making adjacent
+iterations dissimilar beyond any small lossless tolerance.  Pair it with
+:func:`repro.core.compress.compress_tree_lossy` to reproduce the paper's
+"last resort" discussion (see ``benchmarks/bench_compression.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, streaming
+
+
+def build(
+    scale: float = 1.0,
+    iterations: int = 4,
+    buckets: int = 256,
+    mean_cycles: float = 120_000.0,
+    footprint_mb: float = 134.0,
+    seed: int = 1998,  # NPB 2.3's release year
+) -> WorkloadSpec:
+    """IS; each iteration ranks keys into ``buckets`` uneven buckets."""
+    b = max(16, int(buckets * scale))
+    footprint = footprint_mb * 1e6
+    rng = np.random.default_rng(seed)
+    # Heavy-tailed bucket sizes, resampled per iteration: the reason IS
+    # trees resist lossless RLE.
+    costs = mean_cycles * rng.lognormal(mean=0.0, sigma=0.7, size=(iterations, b))
+    bytes_per_bucket = footprint / b
+
+    def program(tracer: Tracer) -> None:
+        for it in range(iterations):
+            with tracer.section("is_rank"):
+                for bucket in range(b):
+                    with tracer.task(f"b{bucket}"):
+                        tracer.compute(
+                            float(costs[it, bucket]),
+                            mem=streaming(
+                                bytes_per_bucket * costs[it, bucket] / mean_cycles
+                            ),
+                        )
+            # Serial key verification between iterations.
+            tracer.compute(30_000.0)
+
+    return WorkloadSpec(
+        name="npb_is",
+        program=program,
+        paradigm="omp",
+        description=(
+            "NPB IS: bucket sort with random per-bucket work — the paper's "
+            "hard-to-compress program tree (Section VI-B)"
+        ),
+        input_label=f"B/{footprint_mb:.0f}MB",
+        footprint_mb=footprint_mb,
+        schedule="dynamic,1",
+    )

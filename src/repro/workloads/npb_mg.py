@@ -1,0 +1,88 @@
+"""NPB ``MG`` — multigrid V-cycle (paper Fig. 12(h), "NPB-MG: B/470MB").
+
+MG applies V-cycles of the multigrid method to a 3-D Poisson system.  The
+annotated structure follows the real benchmark's operators:
+
+- ``resid``  — residual computation on the finest grid (27-point stencil,
+  streams the full arrays: the memory-heavy phase);
+- ``rprj3``  — restriction to the next-coarser grid (downward leg);
+- ``psinv``  — smoother applied per level (upward leg);
+- ``interp`` — prolongation back to the finer grid;
+- a serial coarsest-grid solve at the bottom of the V.
+
+Grid *l* has ``8^l``-fold less data than the finest, so fine levels are
+bandwidth-bound (streaming several hundred MB per sweep) while coarse levels
+have so little work that per-section fork/join overhead dominates — the
+combination behind the paper's measured shape: good scaling to ~6 cores,
+flattening near 5×, with burden factors between FT's and EP's.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, streaming
+
+
+#: Relative stencil cost per byte for each operator (resid's 27-point
+#: stencil does roughly twice the flops/byte of the simpler transfers).
+OPERATOR_INTENSITY = {
+    "resid": 0.75,
+    "rprj3": 0.55,
+    "psinv": 0.70,
+    "interp": 0.55,
+}
+
+
+def build(
+    scale: float = 1.0,
+    cycles_count: int = 2,
+    levels: int = 5,
+    fine_planes: int = 48,
+    footprint_mb: float = 470.0,
+) -> WorkloadSpec:
+    """MG; level ``l`` sweeps ``footprint/8^l`` bytes over ``planes >> l``
+    tasks (plane-decomposed loops, as the OpenMP NPB parallelizes them)."""
+    p0 = max(8, int(fine_planes * scale))
+    footprint = footprint_mb * 1e6
+
+    def level_sweep(tracer: Tracer, operator: str, level: int) -> None:
+        planes = max(2, p0 >> level)
+        level_bytes = footprint / (8.0**level)
+        bytes_per_task = level_bytes / planes
+        intensity = OPERATOR_INTENSITY[operator]
+        with tracer.section(f"mg_{operator}_l{level}"):
+            for plane in range(planes):
+                with tracer.task(f"pl{plane}"):
+                    tracer.compute(
+                        intensity * bytes_per_task,
+                        mem=streaming(bytes_per_task),
+                    )
+
+    def program(tracer: Tracer) -> None:
+        for _cycle in range(cycles_count):
+            # Residual on the finest grid starts the V.
+            level_sweep(tracer, "resid", 0)
+            # Downward leg: restrict to coarser grids.
+            for level in range(1, levels):
+                level_sweep(tracer, "rprj3", level)
+            # Coarsest-grid solve is serial (a handful of points).
+            tracer.compute(60_000.0)
+            # Upward leg: interpolate up and smooth at each level.
+            for level in reversed(range(levels - 1)):
+                level_sweep(tracer, "interp", level)
+                level_sweep(tracer, "psinv", level)
+            # Residual norm check (serial reduction).
+            tracer.compute(40_000.0)
+
+    return WorkloadSpec(
+        name="npb_mg",
+        program=program,
+        paradigm="omp",
+        description=(
+            "NPB MG: multigrid V-cycles (resid/rprj3/psinv/interp) — "
+            "bandwidth-heavy fine grids, overhead-bound coarse grids"
+        ),
+        input_label=f"B/{footprint_mb:.0f}MB",
+        footprint_mb=footprint_mb,
+        schedule="static",
+    )

@@ -1,0 +1,65 @@
+"""OmpSCR ``c_lu`` — LU reduction (paper Figs. 1(a) and 12(b), "LU-OMP:
+3072/54MB").
+
+The paper's motivating example for *workload imbalance* and *inner-loop
+parallelism* (Fig. 1(a))::
+
+    for (k = 0; k < size - 1; k++)                      // serial outer loop
+      #pragma omp parallel for schedule(static,1)
+      for (i = k + 1; i < size; i++) {                  // parallel inner loop
+        L[i][k] = M[i][k] / M[k][k];
+        for (j = k + 1; j < size; j++)                  // O(size − k) work
+          M[i][j] -= L[i][k] * M[k][j];
+      }
+
+Each outer iteration opens a fresh top-level parallel section whose tasks
+shrink with ``k`` ("the shape of work for threads is regular diagonal"), so
+the schedule choice matters and the per-section fork/join overhead recurs
+``size − 1`` times — which is exactly what made Suitability overestimate the
+parallel overhead (Section VII-C).  The matrix gets strong reuse per k-step
+(row ``k`` is shared), so the model's burden factors stay at 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, resident
+
+
+def build(
+    scale: float = 1.0,
+    size: int = 128,
+    cycles_per_element: float = 220.0,
+) -> WorkloadSpec:
+    """LU reduction; ``size`` is the matrix dimension."""
+    n = max(16, int(size * scale))
+    footprint = 54e6 * (n / 3072) ** 2  # 54 MB at the paper's 3072
+
+    def program(tracer: Tracer) -> None:
+        for k in range(n - 1):
+            row_bytes = 8.0 * (n - k)
+            with tracer.section("lu_inner"):
+                for i in range(k + 1, n):
+                    with tracer.task(f"i{i}"):
+                        # Row update: O(n − k) multiply-subtracts reading the
+                        # shared pivot row (resident) and writing row i.
+                        tracer.compute(
+                            cycles_per_element * (n - k),
+                            mem=resident(
+                                bytes_touched=2.0 * row_bytes,
+                                working_set=min(footprint, 2.0 * row_bytes * (n - k)),
+                            ),
+                        )
+
+    return WorkloadSpec(
+        name="ompscr_lu",
+        program=program,
+        paradigm="omp",
+        description=(
+            "OmpSCR LU reduction: diagonal workload imbalance with a "
+            "frequent parallel inner loop"
+        ),
+        input_label=f"{n}/{footprint / 1e6:.0f}MB",
+        footprint_mb=footprint / 1e6,
+        schedule="static,1",
+    )

@@ -1,0 +1,55 @@
+"""OmpSCR ``c_md`` — molecular dynamics (paper Fig. 12(a), "MD-OMP: 8192/20MB").
+
+The MD kernel's parallel loop computes forces for each particle against all
+others: per-iteration work is uniform and proportional to the particle
+count, and the position/velocity arrays (~20 MB for 8192 particles) enjoy
+heavy reuse, so the benchmark is compute-bound (the paper measures burden
+factors of 1 and near-linear speedups, even slightly super-linear on 6-12
+cores from cache-size growth, which Prophet deliberately does not model).
+
+Structure per timestep: a parallel ``forces`` loop (one task per particle
+block) followed by a serial ``update`` sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, resident
+
+
+def build(
+    scale: float = 1.0,
+    particles: int = 512,
+    steps: int = 2,
+    cycles_per_pair: float = 40.0,
+) -> WorkloadSpec:
+    """MD workload; ``particles`` scales both trip count and per-task cost."""
+    n = max(8, int(particles * scale))
+    footprint = 20e6 * (n / 8192)  # proportional to the paper's 20 MB @ 8192
+
+    def program(tracer: Tracer) -> None:
+        for _step in range(steps):
+            with tracer.section("md_forces"):
+                for i in range(n):
+                    with tracer.task(f"p{i}"):
+                        # Force on particle i vs all j: O(n) work, resident
+                        # reads of the positions array.
+                        tracer.compute(
+                            cycles_per_pair * n,
+                            mem=resident(
+                                bytes_touched=24.0 * n / 16,
+                                working_set=footprint,
+                            ),
+                        )
+            # Serial position/velocity update (outside any section).
+            tracer.compute(8.0 * n)
+
+    return WorkloadSpec(
+        name="ompscr_md",
+        program=program,
+        paradigm="omp",
+        description="OmpSCR molecular dynamics: balanced parallel force loop",
+        input_label=f"{n}/{footprint / 1e6:.0f}MB",
+        footprint_mb=footprint / 1e6,
+        schedule="static",
+    )

@@ -1,0 +1,74 @@
+"""OmpSCR ``c_qsort`` — parallel quicksort, Cilk Plus flavour (paper
+Fig. 12(d), "QSort-Cilk: 2048/4MB").
+
+Recursive divide-and-conquer with *data-dependent imbalance*: each partition
+splits at a random pivot, the partition pass itself is serial within its
+subproblem, and recursion stops at a small threshold where an insertion-sort
+leaf runs.  The serial top-level partition bounds the speedup well below
+linear (the paper measures ≈3.5-4× on 12 cores), while the 4 MB footprint
+fits the LLC, so burden factors stay at 1 — scheduling, not memory, is the
+limiter.  Like FFT, this recursion pattern needs work stealing (Cilk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.annotations import Tracer
+from repro.workloads.base import WorkloadSpec, resident
+
+
+def build(
+    scale: float = 1.0,
+    elements: int = 200_000,
+    leaf_elements: int = 2_500,
+    cycles_per_element: float = 14.0,
+    seed: int = 2012,
+) -> WorkloadSpec:
+    """Quicksort; pivots drawn from a seeded RNG for reproducible imbalance."""
+    n = max(leaf_elements, int(elements * scale))
+    footprint = 4e6 * (n / 2048 / 1000)  # ~4 MB at the paper's input
+
+    def program(tracer: Tracer) -> None:
+        rng = np.random.default_rng(seed)
+
+        def qsort(m: int, depth: int) -> None:
+            if m <= leaf_elements:
+                # Insertion-sort-ish leaf: slightly super-linear in m.
+                tracer.compute(
+                    cycles_per_element * m * 1.6,
+                    mem=resident(bytes_touched=8.0 * m, working_set=8.0 * m),
+                )
+                return
+            # Serial partition pass over the whole subrange.
+            tracer.compute(
+                cycles_per_element * m,
+                mem=resident(bytes_touched=8.0 * m, working_set=footprint),
+            )
+            # Random pivot on random data: split point ~ uniform, clamped so
+            # both sides recurse.
+            frac = float(rng.uniform(0.2, 0.8))
+            left = max(1, int(m * frac))
+            right = max(1, m - left)
+            with tracer.section(f"qsort_d{depth}"):
+                with tracer.task("lo"):
+                    qsort(left, depth + 1)
+                with tracer.task("hi"):
+                    qsort(right, depth + 1)
+
+        with tracer.section("qsort"):
+            with tracer.task("root"):
+                qsort(n, 0)
+
+    return WorkloadSpec(
+        name="ompscr_qsort",
+        program=program,
+        paradigm="cilk",
+        description=(
+            "OmpSCR quicksort (Cilk Plus): recursive parallelism with "
+            "random-pivot imbalance and serial partition passes"
+        ),
+        input_label=f"{n // 1000}k/{footprint / 1e6:.0f}MB",
+        footprint_mb=footprint / 1e6,
+        schedule="static",
+    )

@@ -1,0 +1,67 @@
+"""Workload registry: name → factory, mirroring the paper's Section VII-A
+benchmark list ("eight benchmarks in OmpSCR and NPB")."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    npb_cg,
+    npb_ep,
+    npb_ft,
+    npb_is,
+    npb_mg,
+    ompscr_fft,
+    ompscr_lu,
+    ompscr_md,
+    ompscr_qsort,
+)
+from repro.workloads.base import WorkloadSpec
+
+_REGISTRY: dict[str, Callable[..., WorkloadSpec]] = {
+    "ompscr_md": ompscr_md.build,
+    "ompscr_lu": ompscr_lu.build,
+    "ompscr_fft": ompscr_fft.build,
+    "ompscr_qsort": ompscr_qsort.build,
+    "npb_ep": npb_ep.build,
+    "npb_ft": npb_ft.build,
+    "npb_mg": npb_mg.build,
+    "npb_cg": npb_cg.build,
+    # Extra (not in the paper's Fig. 12 evaluation): the Section VI-B
+    # compression pathology.
+    "npb_is": npb_is.build,
+}
+
+#: Order used by Fig. 12's panels (a)-(h).
+PAPER_ORDER = [
+    "ompscr_md",
+    "ompscr_lu",
+    "ompscr_fft",
+    "ompscr_qsort",
+    "npb_ep",
+    "npb_ft",
+    "npb_cg",
+    "npb_mg",
+]
+
+
+def workload_names(include_extras: bool = False) -> list[str]:
+    """Workload names in the paper's figure order; ``include_extras`` adds
+    workloads outside the Fig. 12 evaluation (currently ``npb_is``)."""
+    names = list(PAPER_ORDER)
+    if include_extras:
+        names.extend(sorted(set(_REGISTRY) - set(PAPER_ORDER)))
+    return names
+
+
+def get_workload(name: str, **kwargs) -> WorkloadSpec:
+    """Build a registered workload (``scale`` and per-workload kwargs pass
+    through to its ``build`` function)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,209 @@
+"""Test1 and Test2 validation generators (paper Section VII-B, Figs. 9-10).
+
+The paper validates Parallel Prophet on 300 randomly generated samples of
+two serial program patterns:
+
+- **Test1** (Fig. 9): a parallel loop whose iteration *i* computes
+  ``overhead = ComputeOverhead(i, i_max, M, m, s)`` split across up to three
+  unlocked delays and up to two critical sections — exercising load
+  imbalance, multiple locks with arbitrary contention, and high parallel
+  overhead.
+- **Test2** (Fig. 10): an outer parallel loop whose iterations optionally
+  invoke a whole Test1 instance as a *nested* parallel loop — adding
+  frequent inner-loop parallelism and nested parallelism.
+
+``ComputeOverhead`` generates "various workload patterns, from a randomly
+distributed workload to a regular form of workload, or a mix of several
+cases"; here the same role is played by four shapes (uniform-random, linear
+ramp à la LU's diagonal, sawtooth, and flat) selected per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.annotations import AnnotationProgram, Tracer
+from repro.errors import ConfigurationError
+
+#: Workload shapes that ComputeOverhead can generate.
+SHAPES = ("random", "ramp", "sawtooth", "flat")
+
+
+@dataclass(frozen=True)
+class Test1Params:
+    """Parameters of one Test1 sample (Fig. 9's i_max, M, m, s, ratios)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    i_max: int
+    mean_cycles: float
+    spread: float  # relative variation of per-iteration work
+    shape: str
+    ratio_delay_1: float
+    ratio_delay_lock_1: float
+    ratio_delay_2: float
+    ratio_delay_lock_2: float
+    ratio_delay_3: float
+    do_lock1: bool
+    do_lock2: bool
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.i_max < 1:
+            raise ConfigurationError("i_max must be >= 1")
+        if self.shape not in SHAPES:
+            raise ConfigurationError(f"unknown shape {self.shape!r}")
+        total = (
+            self.ratio_delay_1
+            + (self.ratio_delay_lock_1 if self.do_lock1 else 0.0)
+            + self.ratio_delay_2
+            + (self.ratio_delay_lock_2 if self.do_lock2 else 0.0)
+            + self.ratio_delay_3
+        )
+        if total <= 0:
+            raise ConfigurationError("at least one delay ratio must be > 0")
+
+
+@dataclass(frozen=True)
+class Test2Params:
+    """Parameters of one Test2 sample (Fig. 10)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    k_max: int
+    mean_cycles: float
+    spread: float
+    shape: str
+    ratio_delay_a: float
+    ratio_delay_b: float
+    nested_probability: float
+    inner: Test1Params
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.k_max < 1:
+            raise ConfigurationError("k_max must be >= 1")
+        if self.shape not in SHAPES:
+            raise ConfigurationError(f"unknown shape {self.shape!r}")
+        if not 0.0 <= self.nested_probability <= 1.0:
+            raise ConfigurationError("nested_probability must be in [0, 1]")
+
+
+def compute_overhead(
+    i: int, i_max: int, mean: float, spread: float, shape: str, rng: np.random.Generator
+) -> float:
+    """The paper's ``ComputeOverhead``: per-iteration work for iteration i."""
+    if shape == "flat":
+        factor = 1.0
+    elif shape == "ramp":
+        # Regular diagonal shape, as in LUreduction (Fig. 1(a)).
+        factor = 1.0 + spread * (2.0 * i / max(1, i_max - 1) - 1.0)
+    elif shape == "sawtooth":
+        factor = 1.0 + spread * (2.0 * ((i % 8) / 7.0) - 1.0)
+    elif shape == "random":
+        factor = 1.0 + spread * float(rng.uniform(-1.0, 1.0))
+    else:  # pragma: no cover - validated in params
+        raise ConfigurationError(f"unknown shape {shape!r}")
+    return max(100.0, mean * factor)
+
+
+def test1_program(
+    params: Test1Params, section_name: str = "test1"
+) -> AnnotationProgram:
+    """Build the Fig. 9 annotated serial program for ``params``."""
+
+    def program(tracer: Tracer) -> None:
+        rng = np.random.default_rng(params.seed)
+        tracer.par_sec_begin(section_name)
+        for i in range(params.i_max):
+            overhead = compute_overhead(
+                i, params.i_max, params.mean_cycles, params.spread, params.shape, rng
+            )
+            tracer.par_task_begin(f"i{i}")
+            tracer.compute(overhead * params.ratio_delay_1)
+            if params.do_lock1:
+                tracer.lock_begin(1)
+                tracer.compute(overhead * params.ratio_delay_lock_1)
+                tracer.lock_end(1)
+            tracer.compute(overhead * params.ratio_delay_2)
+            if params.do_lock2:
+                tracer.lock_begin(2)
+                tracer.compute(overhead * params.ratio_delay_lock_2)
+                tracer.lock_end(2)
+            tracer.compute(overhead * params.ratio_delay_3)
+            tracer.par_task_end()
+        tracer.par_sec_end(barrier=True)
+
+    return program
+
+
+def _test1_body(tracer: Tracer, params: Test1Params, name: str) -> None:
+    # Inline re-use of the Test1 structure as a nested section (Fig. 10
+    # line 6 calls Test1 from inside a Test2 iteration).
+    test1_program(params, section_name=name)(tracer)
+
+
+def test2_program(params: Test2Params) -> AnnotationProgram:
+    """Build the Fig. 10 annotated serial program for ``params``."""
+
+    def program(tracer: Tracer) -> None:
+        rng = np.random.default_rng(params.seed)
+        nested_draws = rng.uniform(0.0, 1.0, size=params.k_max)
+        tracer.par_sec_begin("test2")
+        for k in range(params.k_max):
+            overhead = compute_overhead(
+                k, params.k_max, params.mean_cycles, params.spread, params.shape, rng
+            )
+            tracer.par_task_begin(f"k{k}")
+            tracer.compute(overhead * params.ratio_delay_a)
+            if nested_draws[k] < params.nested_probability:
+                _test1_body(tracer, params.inner, name=f"inner{k}")
+            tracer.compute(overhead * params.ratio_delay_b)
+            tracer.par_task_end()
+        tracer.par_sec_end(barrier=True)
+
+    return program
+
+
+# ------------------------------------------------------------ random sampling
+
+
+def random_test1(rng: np.random.Generator, scale: float = 1.0) -> Test1Params:
+    """Draw one Test1 sample "by randomly selecting the arguments"."""
+    do_lock1 = bool(rng.uniform() < 0.6)
+    do_lock2 = bool(rng.uniform() < 0.3)
+    # Lock ratios span quiet to heavily contended critical sections.
+    return Test1Params(
+        i_max=int(rng.integers(16, 96) * max(scale, 0.1)) or 1,
+        mean_cycles=float(rng.uniform(3e4, 6e5)) * scale,
+        spread=float(rng.uniform(0.0, 0.9)),
+        shape=str(rng.choice(SHAPES)),
+        ratio_delay_1=float(rng.uniform(0.05, 0.5)),
+        ratio_delay_lock_1=float(rng.uniform(0.01, 0.35)) if do_lock1 else 0.0,
+        ratio_delay_2=float(rng.uniform(0.05, 0.5)),
+        ratio_delay_lock_2=float(rng.uniform(0.01, 0.2)) if do_lock2 else 0.0,
+        ratio_delay_3=float(rng.uniform(0.0, 0.4)),
+        do_lock1=do_lock1,
+        do_lock2=do_lock2,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def random_test2(rng: np.random.Generator, scale: float = 1.0) -> Test2Params:
+    """Draw one Test2 sample; inner loops are smaller Test1 instances."""
+    inner = random_test1(rng, scale=scale * 0.3)
+    # Frequent inner-loop parallelism: modest outer trip counts, fairly
+    # likely nesting (the paper's "high parallel overhead" case).
+    return Test2Params(
+        k_max=int(rng.integers(6, 32)),
+        mean_cycles=float(rng.uniform(5e4, 4e5)) * scale,
+        spread=float(rng.uniform(0.0, 0.9)),
+        shape=str(rng.choice(SHAPES)),
+        ratio_delay_a=float(rng.uniform(0.1, 0.6)),
+        ratio_delay_b=float(rng.uniform(0.1, 0.6)),
+        nested_probability=float(rng.uniform(0.3, 1.0)),
+        inner=inner,
+        seed=int(rng.integers(0, 2**31)),
+    )

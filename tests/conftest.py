@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simhw import MachineConfig
+
+
+@pytest.fixture
+def machine2() -> MachineConfig:
+    """A 2-core machine with a short timeslice (preemption visible fast)."""
+    return MachineConfig(n_cores=2, timeslice_cycles=10_000.0)
+
+
+@pytest.fixture
+def machine4() -> MachineConfig:
+    return MachineConfig(n_cores=4)
+
+
+@pytest.fixture
+def machine12() -> MachineConfig:
+    return MachineConfig(n_cores=12)
+
+
+@pytest.fixture
+def tiny_llc_machine() -> MachineConfig:
+    """A machine with a small LLC so working sets overflow it in tests."""
+    return MachineConfig(n_cores=4, llc_bytes=1 << 20)

@@ -1,0 +1,61 @@
+"""Tests for the ASCII speedup-chart renderer."""
+
+import pytest
+
+from repro.core.asciiplot import speedup_chart
+
+
+class TestSpeedupChart:
+    def test_renders_all_series_marks(self):
+        chart = speedup_chart(
+            {"Real": [1.9, 3.5, 4.4], "Pred": [2.0, 4.0, 6.0]},
+            [2, 4, 6],
+        )
+        assert "o" in chart and "x" in chart
+        assert "o=Real" in chart and "x=Pred" in chart
+
+    def test_ideal_line_present(self):
+        chart = speedup_chart({"s": [1.0, 1.0]}, [2, 12], ideal=True)
+        assert ".=ideal" in chart
+        assert "." in chart.splitlines()[0] or any(
+            "." in line for line in chart.splitlines()[:-2]
+        )
+
+    def test_no_ideal(self):
+        chart = speedup_chart({"s": [1.0, 2.0]}, [2, 4], ideal=False)
+        assert "ideal" not in chart
+
+    def test_axis_ticks_show_threads(self):
+        chart = speedup_chart({"s": [1, 2, 3]}, [2, 8, 12])
+        assert " 2 " in chart and " 12 " in chart
+
+    def test_first_series_wins_overlaps(self):
+        chart = speedup_chart(
+            {"Real": [4.0], "Pred": [4.0]}, [4], ideal=False, height=6
+        )
+        # Both series land on the same cell; the first keeps its mark.
+        body = "\n".join(chart.splitlines()[:-3])
+        assert "o" in body
+        assert "x" not in body
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_chart({"s": [1.0]}, [2, 4])
+
+    def test_empty(self):
+        assert speedup_chart({}, []) == "(no data)"
+
+    def test_y_axis_covers_max(self):
+        chart = speedup_chart({"s": [24.0, 30.0]}, [2, 4], ideal=False)
+        assert "30.0" in chart
+
+    def test_saturating_curve_flat_tail(self):
+        """The Fig. 2 shape: a saturated series occupies a single row on
+        its plateau."""
+        chart = speedup_chart(
+            {"Real": [1.9, 3.6, 4.5, 4.5, 4.5, 4.5]},
+            [2, 4, 6, 8, 10, 12],
+        )
+        rows_with_o = [line for line in chart.splitlines() if "o" in line and "|" in line]
+        plateau_row = [line for line in rows_with_o if line.count("o") >= 4]
+        assert plateau_row

@@ -1,0 +1,354 @@
+"""Tests for the comparison predictors: analytical models, Kismet-style
+upper bound, and the Suitability-like emulator."""
+
+import pytest
+
+from repro.baselines import (
+    KismetEstimator,
+    SuitabilityAnalysis,
+    amdahl_speedup,
+    eyerman_eeckhout_speedup,
+    gustafson_speedup,
+    karp_flatt_metric,
+)
+from repro.core.profiler import IntervalProfiler
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig
+
+M = MachineConfig(n_cores=12)
+
+
+def profile_of(program):
+    return IntervalProfiler(M).profile(program)
+
+
+class TestAmdahlFamily:
+    def test_amdahl_no_serial_part(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+
+    def test_amdahl_all_serial(self):
+        assert amdahl_speedup(1.0, 64) == pytest.approx(1.0)
+
+    def test_amdahl_limit(self):
+        # s=0.1 -> asymptote at 10x.
+        assert amdahl_speedup(0.1, 10_000) == pytest.approx(10.0, rel=0.01)
+
+    def test_amdahl_validation(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(1.5, 2)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0)
+
+    def test_gustafson_linear_in_t(self):
+        assert gustafson_speedup(0.0, 8) == pytest.approx(8.0)
+        assert gustafson_speedup(0.5, 8) == pytest.approx(4.5)
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        t = 8
+        s = 0.2
+        measured = amdahl_speedup(s, t)
+        assert karp_flatt_metric(measured, t) == pytest.approx(s, rel=1e-9)
+
+    def test_karp_flatt_undefined_at_one_thread(self):
+        with pytest.raises(ConfigurationError):
+            karp_flatt_metric(1.0, 1)
+
+    def test_eyerman_eeckhout_reduces_to_amdahl(self):
+        # No critical sections -> plain Amdahl.
+        assert eyerman_eeckhout_speedup(0.1, 0.0, 0.0, 8) == pytest.approx(
+            amdahl_speedup(0.1, 8)
+        )
+
+    def test_eyerman_eeckhout_contention_hurts(self):
+        free = eyerman_eeckhout_speedup(0.0, 0.3, 0.0, 8)
+        contended = eyerman_eeckhout_speedup(0.0, 0.3, 1.0, 8)
+        assert contended < free
+        # Fully-contended critical sections bound the speedup.
+        assert contended <= 1.0 / 0.3 + 1e-9
+
+    def test_eyerman_eeckhout_validation(self):
+        with pytest.raises(ConfigurationError):
+            eyerman_eeckhout_speedup(0.7, 0.5, 0.0, 4)
+
+
+class TestKismet:
+    def test_upper_bound_on_balanced_loop(self):
+        def program(tr):
+            with tr.section("loop"):
+                for _ in range(16):
+                    with tr.task():
+                        tr.compute(10_000)
+
+        profile = profile_of(program)
+        report = KismetEstimator().predict(profile, [2, 4, 8])
+        assert report.speedup(n_threads=8) == pytest.approx(8.0, rel=0.01)
+
+    def test_critical_path_bounds(self):
+        # One long task dominates: speedup capped by it regardless of t.
+        def program(tr):
+            with tr.section("loop"):
+                with tr.task():
+                    tr.compute(90_000)
+                for _ in range(9):
+                    with tr.task():
+                        tr.compute(1_000)
+
+        profile = profile_of(program)
+        report = KismetEstimator().predict(profile, [12])
+        # total=99k, cp=90k -> bound = 1.1.
+        assert report.speedup(n_threads=12) == pytest.approx(1.1, rel=0.01)
+
+    def test_serial_part_counted(self):
+        def program(tr):
+            tr.compute(50_000)
+            with tr.section("s"):
+                for _ in range(4):
+                    with tr.task():
+                        tr.compute(12_500)
+
+        profile = profile_of(program)
+        report = KismetEstimator().predict(profile, [4])
+        # 100k serial; best parallel = 50k + 12.5k.
+        assert report.speedup(n_threads=4) == pytest.approx(1.6, rel=0.01)
+
+    def test_kismet_never_predicts_saturation(self):
+        """Kismet's defining limitation: an upper bound that keeps growing
+        even for memory-bound code."""
+        from repro.simhw.memtrace import AccessPattern, MemSpec
+
+        def program(tr):
+            spec = MemSpec(AccessPattern.STREAMING, bytes_touched=18_000_000)
+            with tr.section("hot"):
+                for _ in range(12):
+                    with tr.task():
+                        tr.compute(10_000_000, mem=spec)
+
+        profile = profile_of(program)
+        report = KismetEstimator().predict(profile, [2, 4, 8, 12])
+        speeds = [report.speedup(n_threads=t) for t in (2, 4, 8, 12)]
+        assert speeds == sorted(speeds)
+        assert speeds[-1] == pytest.approx(12.0, rel=0.01)
+
+    def test_nested_sections_in_path(self):
+        def program(tr):
+            with tr.section("outer"):
+                with tr.task():
+                    with tr.section("inner"):
+                        for _ in range(4):
+                            with tr.task():
+                                tr.compute(10_000)
+
+        profile = profile_of(program)
+        report = KismetEstimator().predict(profile, [4])
+        assert report.speedup(n_threads=4) == pytest.approx(4.0, rel=0.01)
+
+
+class TestSuitability:
+    def test_balanced_loop_ok(self):
+        def program(tr):
+            with tr.section("loop"):
+                for _ in range(32):
+                    with tr.task():
+                        tr.compute(1_000_000)
+
+        profile = profile_of(program)
+        report = SuitabilityAnalysis().predict(profile, [2, 4, 8])
+        assert report.speedup(n_threads=8) == pytest.approx(8.0, rel=0.1)
+
+    def test_power_of_two_interpolation(self):
+        def program(tr):
+            with tr.section("loop"):
+                for _ in range(32):
+                    with tr.task():
+                        tr.compute(100_000)
+
+        profile = profile_of(program)
+        report = SuitabilityAnalysis().predict(profile, [4, 6, 8])
+        s4 = report.speedup(n_threads=4)
+        s6 = report.speedup(n_threads=6)
+        s8 = report.speedup(n_threads=8)
+        assert s6 == pytest.approx((s4 + s8) / 2, rel=1e-9)
+
+    def test_inner_loop_overhead_overestimated(self):
+        """The paper's LU observation: frequent inner-loop sections make
+        Suitability markedly more pessimistic than the real runtime."""
+
+        def program(tr):
+            for _k in range(40):
+                with tr.section("inner"):
+                    for _ in range(8):
+                        with tr.task():
+                            tr.compute(20_000)
+
+        profile = profile_of(program)
+        suit = SuitabilityAnalysis().predict(profile, [8])
+        from repro.core.synthesizer import Synthesizer
+
+        syn = Synthesizer().predict(profile, 8, use_memory_model=False)
+        assert suit.speedup(n_threads=8) < 0.8 * syn.estimate.speedup
+
+    def test_deep_recursion_unsupported(self):
+        def program(tr):
+            def rec(depth):
+                if depth == 0:
+                    tr.compute(1000)
+                    return
+                with tr.section(f"d{depth}"):
+                    with tr.task():
+                        rec(depth - 1)
+                    with tr.task():
+                        rec(depth - 1)
+
+            with tr.section("root"):
+                with tr.task():
+                    rec(5)
+
+        profile = profile_of(program)
+        analysis = SuitabilityAnalysis()
+        assert not analysis.supports(profile)
+        assert len(analysis.predict(profile, [2, 4])) == 0
+
+    def test_shallow_nesting_supported(self):
+        def program(tr):
+            with tr.section("outer"):
+                with tr.task():
+                    with tr.section("inner"):
+                        with tr.task():
+                            tr.compute(1000)
+
+        profile = profile_of(program)
+        assert SuitabilityAnalysis().supports(profile)
+
+    def test_no_memory_model(self):
+        """Suitability ignores memory: predictions for a saturating workload
+        stay near-linear (Fig. 12(f)'s 'Suit' line)."""
+        from repro.simhw.memtrace import AccessPattern, MemSpec
+
+        def program(tr):
+            spec = MemSpec(AccessPattern.STREAMING, bytes_touched=18_000_000)
+            with tr.section("hot"):
+                for _ in range(12):
+                    with tr.task():
+                        tr.compute(10_000_000, mem=spec)
+
+        profile = profile_of(program)
+        # 12 tasks on 4 threads = 3 even waves; the real speedup saturates
+        # near 3.6 here while Suitability predicts ~4 (memory-blind).
+        report = SuitabilityAnalysis().predict(profile, [4])
+        assert report.speedup(n_threads=4) > 3.7
+
+
+class TestHillMarty:
+    def test_reduces_to_amdahl_with_unit_cores(self):
+        from repro.baselines import hill_marty_speedup
+
+        assert hill_marty_speedup(0.2, 16, 1) == pytest.approx(
+            amdahl_speedup(0.2, 16)
+        )
+
+    def test_bigger_cores_help_serial_code(self):
+        from repro.baselines import hill_marty_speedup
+
+        # Highly serial: a beefier core wins despite fewer of them.
+        serial_heavy = 0.8
+        small_cores = hill_marty_speedup(serial_heavy, 64, 1)
+        big_cores = hill_marty_speedup(serial_heavy, 64, 16)
+        assert big_cores > small_cores
+
+    def test_many_small_cores_help_parallel_code(self):
+        from repro.baselines import hill_marty_speedup
+
+        parallel_heavy = 0.01
+        small_cores = hill_marty_speedup(parallel_heavy, 64, 1)
+        big_cores = hill_marty_speedup(parallel_heavy, 64, 64)
+        assert small_cores > big_cores
+
+    def test_validation(self):
+        from repro.baselines import hill_marty_speedup
+
+        with pytest.raises(ConfigurationError):
+            hill_marty_speedup(0.5, 4, 8)
+        with pytest.raises(ConfigurationError):
+            hill_marty_speedup(0.5, 0, 1)
+
+
+class TestCilkview:
+    def _balanced(self, n=8, cost=10_000):
+        def program(tr):
+            with tr.section("loop"):
+                for _ in range(n):
+                    with tr.task():
+                        tr.compute(cost)
+
+        return profile_of(program)
+
+    def test_work_and_span(self):
+        from repro.baselines import CilkviewAnalyzer
+        from repro.runtime import RuntimeOverheads
+
+        cv = CilkviewAnalyzer(RuntimeOverheads().scaled(0.0))
+        prof = cv.analyze(self._balanced(8, 10_000))
+        assert prof.work == pytest.approx(80_000)
+        assert prof.span == pytest.approx(10_000)
+        assert prof.parallelism == pytest.approx(8.0)
+
+    def test_bounds_bracket_real(self):
+        from repro.baselines import CilkviewAnalyzer
+        from repro.core.executor import ParallelExecutor, ReplayMode
+
+        profile = self._balanced(32, 100_000)
+        cv = CilkviewAnalyzer()
+        sp = cv.analyze(profile)
+        ex = ParallelExecutor(M, paradigm="cilk")
+        real = ex.execute_profile(profile.tree, 8, ReplayMode.REAL).speedup
+        lo, hi = sp.estimate_range(8)
+        assert lo <= real * 1.05
+        assert real <= hi + 1e-9
+
+    def test_upper_bound_laws(self):
+        from repro.baselines import CilkviewAnalyzer
+
+        sp = CilkviewAnalyzer().analyze(self._balanced(4, 10_000))
+        # Span law: never above parallelism (4); work law: never above P.
+        assert sp.speedup_upper_bound(2) == pytest.approx(2.0)
+        assert sp.speedup_upper_bound(16) == pytest.approx(4.0)
+
+    def test_serial_chain_has_parallelism_one(self):
+        from repro.baselines import CilkviewAnalyzer
+
+        def program(tr):
+            tr.compute(50_000)
+            with tr.section("one"):
+                with tr.task():
+                    tr.compute(50_000)
+
+        sp = CilkviewAnalyzer().analyze(profile_of(program))
+        assert sp.parallelism == pytest.approx(1.0)
+
+    def test_nested_sections_reduce_span(self):
+        from repro.baselines import CilkviewAnalyzer
+        from repro.runtime import RuntimeOverheads
+
+        def program(tr):
+            with tr.section("outer"):
+                for _ in range(2):
+                    with tr.task():
+                        with tr.section("inner"):
+                            for _ in range(2):
+                                with tr.task():
+                                    tr.compute(10_000)
+
+        cv = CilkviewAnalyzer(RuntimeOverheads().scaled(0.0))
+        sp = cv.analyze(profile_of(program))
+        assert sp.work == pytest.approx(40_000)
+        assert sp.span == pytest.approx(10_000)
+
+    def test_burden_lowers_the_floor(self):
+        from repro.baselines import CilkviewAnalyzer
+
+        # Fine-grained tasks: burdened estimate well below the ceiling.
+        sp = CilkviewAnalyzer().analyze(self._balanced(64, 500))
+        lo, hi = sp.estimate_range(8)
+        assert lo < 0.7 * hi
+        assert sp.burdened_span > sp.span
+        assert sp.spawns == 64

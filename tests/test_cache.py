@@ -1,0 +1,108 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simhw import CacheConfig, SetAssociativeCache
+
+
+def make_cache(capacity=64 * 1024, line=64, assoc=4) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheConfig(capacity, line, assoc))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(64 * 1024, 64, 4)
+        assert cfg.n_sets == 256
+        assert cfg.n_lines == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_bytes": 0},
+            {"capacity_bytes": 1024, "line_size": 48},
+            {"capacity_bytes": 1024, "associativity": 0},
+            {"capacity_bytes": 1000, "line_size": 64, "associativity": 4},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(**{"capacity_bytes": 64 * 1024, **kwargs})
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63) is True
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = make_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 64) is False
+
+    def test_lru_eviction_within_set(self):
+        cache = make_cache(capacity=4 * 64, line=64, assoc=4)  # one set
+        lines = [i * 64 for i in range(4)]
+        for a in lines:
+            cache.access(a)
+        cache.access(lines[0])  # refresh line 0 -> line 1 is now LRU
+        cache.access(5 * 64)  # evicts line 1
+        assert cache.access(lines[0]) is True
+        assert cache.access(lines[1]) is False  # was evicted
+
+    def test_eviction_counted(self):
+        cache = make_cache(capacity=4 * 64, line=64, assoc=4)
+        for i in range(5):
+            cache.access(i * 64)
+        assert cache.stats.evictions == 1
+
+    def test_working_set_fits_no_capacity_misses(self):
+        cache = make_cache(capacity=64 * 1024)
+        addrs = np.arange(0, 32 * 1024, 64)
+        cache.access_block(addrs)
+        misses_second_pass = cache.access_block(addrs)
+        assert misses_second_pass == 0
+
+    def test_streaming_overflow_always_misses(self):
+        cache = make_cache(capacity=8 * 1024)
+        addrs = np.arange(0, 64 * 1024, 64)  # 8x the capacity
+        first = cache.access_block(addrs)
+        second = cache.access_block(addrs)
+        assert first == len(addrs)
+        assert second == len(addrs)  # LRU keeps none of a circular sweep
+
+    def test_miss_ratio(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+        assert cache.stats.hits == 1
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.access(0x2000)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines == 0
+        assert cache.access(0x2000) is False
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.access(0x4000)
+        assert cache.contains(0x4000)
+        assert cache.contains(0x4000 + 32)  # same line
+        assert not cache.contains(0x8000)
+
+    def test_resident_lines_bounded_by_capacity(self):
+        cache = make_cache(capacity=8 * 1024, line=64)
+        cache.access_block(np.arange(0, 1 << 20, 64))
+        assert cache.resident_lines == cache.config.n_lines

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ompscr_md", "npb_ft", "ompscr_fft", "npb_cg"):
+            assert name in out
+
+
+class TestProfile:
+    def test_profile_prints_sections(self, capsys):
+        assert main(["profile", "npb_ep", "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ep_batches" in out
+        assert "Mcycles serial" in out
+
+    def test_profile_saves(self, tmp_path, capsys):
+        path = tmp_path / "ep.json"
+        assert main(["profile", "npb_ep", "-o", str(path)]) == 0
+        assert path.exists()
+
+    def test_unknown_workload_errors(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["profile", "npb_dt"])
+
+
+class TestPredict:
+    def test_predict_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "npb_ep",
+                    "--threads",
+                    "2,4",
+                    "--methods",
+                    "syn",
+                    "--no-memory-model",
+                    "--no-real",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2-core" in out and "4-core" in out
+        assert "syn" in out
+
+    def test_predict_with_ground_truth(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "npb_ep",
+                    "--threads",
+                    "4",
+                    "--no-memory-model",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "error" in out
+
+    def test_predict_saved_profile(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["profile", "npb_ep", "-o", str(path), "--cores", "4"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "predict",
+                    str(path),
+                    "--threads",
+                    "2",
+                    "--no-real",
+                    "--no-memory-model",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2-core" in out
+
+    def test_cilk_paradigm_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "ompscr_qsort",
+                    "--threads",
+                    "2",
+                    "--methods",
+                    "syn",
+                    "--no-memory-model",
+                    "--no-real",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cilk" in out
+
+
+class TestCalibrate:
+    def test_calibrate_prints_formulas(self, capsys):
+        assert main(["calibrate", "--threads", "2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_2" in out
+        assert "omega_t" in out
+
+
+class TestDiagnose:
+    def test_diagnose_workload(self, capsys):
+        assert (
+            main(["diagnose", "npb_ep", "--threads", "4", "--cores", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "dominant cause" in out
+        assert "ep_batches" in out
+
+    def test_diagnose_saved_profile(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["profile", "npb_ep", "-o", str(path), "--cores", "4"])
+        capsys.readouterr()
+        assert (
+            main(["diagnose", str(path), "--threads", "2", "--cores", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "dominant cause" in out
+
+
+class TestParadigmChoices:
+    def test_omp_task_paradigm_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "npb_ep",
+                    "--threads",
+                    "2",
+                    "--paradigm",
+                    "omp_task",
+                    "--methods",
+                    "syn",
+                    "--no-memory-model",
+                    "--no-real",
+                    "--cores",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "omp_task" in out

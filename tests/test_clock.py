@@ -1,0 +1,63 @@
+"""Tests for the virtual cycle clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(50.0)
+        assert clock.now == 50.0
+
+    def test_advance_by(self):
+        clock = VirtualClock(10.0)
+        clock.advance_by(5.0)
+        assert clock.now == 15.0
+
+    def test_advance_by_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1.0)
+
+    def test_time_never_decreases(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(50.0)
+
+    def test_tiny_float_drift_tolerated(self):
+        clock = VirtualClock()
+        clock.advance_to(100.0)
+        # Sub-nanosecond backwards drift from float arithmetic is clamped,
+        # not fatal.
+        clock.advance_to(100.0 - 1e-10)
+        assert clock.now == 100.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance_to(1000.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().reset(-5.0)

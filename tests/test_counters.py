@@ -1,0 +1,78 @@
+"""Tests for the PAPI-like counter facade."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simhw import CounterSet, MachineConfig, PerfCounters
+
+
+class TestCounterSet:
+    def test_add(self):
+        a = CounterSet(10, 20, 3)
+        a.add(CounterSet(5, 5, 1))
+        assert (a.instructions, a.cycles, a.llc_misses) == (15, 25, 4)
+
+    def test_sub(self):
+        d = CounterSet(10, 20, 4) - CounterSet(4, 5, 1)
+        assert (d.instructions, d.cycles, d.llc_misses) == (6, 15, 3)
+
+    def test_copy_is_independent(self):
+        a = CounterSet(1, 2, 3)
+        b = a.copy()
+        b.instructions = 99
+        assert a.instructions == 1
+
+    def test_mpi(self):
+        assert CounterSet(1000, 0, 5).mpi == pytest.approx(0.005)
+
+    def test_mpi_zero_instructions(self):
+        assert CounterSet(0, 0, 5).mpi == 0.0
+
+    def test_cpi(self):
+        assert CounterSet(100, 250, 0).cpi == pytest.approx(2.5)
+
+    def test_traffic(self):
+        m = MachineConfig(freq_ghz=1.0, line_size=64)
+        c = CounterSet(instructions=1, cycles=1e9, llc_misses=1e6)
+        assert c.traffic_mbs(m) == pytest.approx(64.0)
+
+
+class TestPerfCounters:
+    def test_start_stop_delta(self):
+        acc = CounterSet()
+        pc = PerfCounters(acc)
+        pc.start(now=100.0)
+        acc.instructions += 500
+        acc.llc_misses += 10
+        delta = pc.stop(now=400.0)
+        assert delta.instructions == 500
+        assert delta.llc_misses == 10
+        # Cycles report the wall interval, not the accumulator delta.
+        assert delta.cycles == 300.0
+
+    def test_double_start_rejected(self):
+        pc = PerfCounters(CounterSet())
+        pc.start(0.0)
+        with pytest.raises(SimulationError):
+            pc.start(1.0)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(SimulationError):
+            PerfCounters(CounterSet()).stop(0.0)
+
+    def test_restartable(self):
+        acc = CounterSet()
+        pc = PerfCounters(acc)
+        pc.start(0.0)
+        pc.stop(10.0)
+        pc.start(10.0)
+        acc.instructions += 1
+        assert pc.stop(20.0).instructions == 1
+
+    def test_running_flag(self):
+        pc = PerfCounters(CounterSet())
+        assert not pc.running
+        pc.start(0.0)
+        assert pc.running
+        pc.stop(1.0)
+        assert not pc.running

@@ -1,0 +1,293 @@
+"""Tests for the dependence-analysis subsystem (SD3-style strided sets,
+loop dependence profiling, annotation suggestion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.depend import (
+    AnnotationAdvice,
+    Dependence,
+    DependenceKind,
+    LoopDependenceProfiler,
+    Parallelizability,
+    StrideRange,
+    ranges_intersect,
+    suggest,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStrideRange:
+    def test_single(self):
+        r = StrideRange.single(100)
+        assert r.addresses() == [100]
+        assert r.contains(100)
+        assert not r.contains(101)
+
+    def test_block(self):
+        r = StrideRange.block(0, 4, element=8)
+        assert r.addresses() == [0, 8, 16, 24]
+        assert r.last == 24
+
+    def test_strided(self):
+        r = StrideRange(10, 100, 3)
+        assert r.addresses() == [10, 110, 210]
+        assert r.contains(110)
+        assert not r.contains(111)
+        assert not r.contains(310)
+
+    def test_negative_stride_normalised(self):
+        r = StrideRange(100, -10, 3)
+        assert sorted(r.addresses()) == [80, 90, 100]
+        assert r.stride == 10
+
+    def test_zero_stride_collapses(self):
+        r = StrideRange(5, 0, 99)
+        assert len(r) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            StrideRange(0, 1, 0)
+
+
+class TestIntersection:
+    def test_identical(self):
+        a = StrideRange(0, 8, 10)
+        assert ranges_intersect(a, a)
+
+    def test_disjoint_intervals(self):
+        assert not ranges_intersect(StrideRange(0, 8, 4), StrideRange(1000, 8, 4))
+
+    def test_interleaved_same_stride_no_overlap(self):
+        # Evens vs odds.
+        assert not ranges_intersect(StrideRange(0, 2, 50), StrideRange(1, 2, 50))
+
+    def test_different_strides_overlap(self):
+        # {0,3,6,9,12} and {4,8,12}: both contain 12.
+        assert ranges_intersect(StrideRange(0, 3, 5), StrideRange(4, 4, 3))
+
+    def test_different_strides_no_overlap_by_bounds(self):
+        # {0,3,6} and {12,16}: gcd solution exists (12) but out of range.
+        assert not ranges_intersect(StrideRange(0, 3, 3), StrideRange(12, 4, 2))
+
+    def test_gcd_incompatible(self):
+        # {0,6,12,...} and {1,7,13,...}: offset 1 not divisible by gcd 6.
+        assert not ranges_intersect(StrideRange(0, 6, 100), StrideRange(1, 6, 100))
+
+    def test_point_in_range(self):
+        assert ranges_intersect(StrideRange.single(16), StrideRange(0, 8, 4))
+        assert not ranges_intersect(StrideRange.single(17), StrideRange(0, 8, 4))
+
+    def test_point_point(self):
+        assert ranges_intersect(StrideRange.single(5), StrideRange.single(5))
+        assert not ranges_intersect(StrideRange.single(5), StrideRange.single(6))
+
+    @given(
+        st.integers(0, 200),
+        st.integers(1, 12),
+        st.integers(1, 30),
+        st.integers(0, 200),
+        st.integers(1, 12),
+        st.integers(1, 30),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_brute_force(self, s1, d1, n1, s2, d2, n2):
+        a = StrideRange(s1, d1, n1)
+        b = StrideRange(s2, d2, n2)
+        expected = bool(set(a.addresses()) & set(b.addresses()))
+        assert ranges_intersect(a, b) == expected
+
+    @given(
+        st.integers(-100, 100),
+        st.integers(-12, 12),
+        st.integers(1, 25),
+        st.integers(-100, 100),
+        st.integers(-12, 12),
+        st.integers(1, 25),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_brute_force_with_negative_strides(self, s1, d1, n1, s2, d2, n2):
+        a = StrideRange(s1, d1, n1)
+        b = StrideRange(s2, d2, n2)
+        expected = bool(set(a.addresses()) & set(b.addresses()))
+        assert ranges_intersect(a, b) == expected
+
+    def test_symmetry(self):
+        a = StrideRange(0, 3, 7)
+        b = StrideRange(2, 5, 6)
+        assert ranges_intersect(a, b) == ranges_intersect(b, a)
+
+
+class TestProfiler:
+    def test_doall_loop(self):
+        dp = LoopDependenceProfiler("independent")
+        for i in range(8):
+            with dp.iteration():
+                dp.read(StrideRange.block(1000 + 64 * i, 8, 8))
+                dp.write(StrideRange.block(8000 + 64 * i, 8, 8))
+        report = dp.finish()
+        assert report.is_doall
+        assert report.n_iterations == 8
+
+    def test_flow_dependence_detected(self):
+        # Iteration i writes a[i], iteration i+1 reads a[i].
+        dp = LoopDependenceProfiler("recurrence")
+        for i in range(6):
+            with dp.iteration():
+                if i > 0:
+                    dp.read(StrideRange.single(1000 + 8 * (i - 1)))
+                dp.write(StrideRange.single(1000 + 8 * i))
+        report = dp.finish()
+        flows = report.of_kind(DependenceKind.FLOW)
+        assert flows
+        assert flows[0].distance == 1
+        assert not report.is_doall
+
+    def test_anti_dependence_detected(self):
+        # Iteration i reads a[i+1], then iteration i+1 writes a[i+1].
+        dp = LoopDependenceProfiler("war")
+        for i in range(5):
+            with dp.iteration():
+                dp.read(StrideRange.single(1000 + 8 * (i + 1)))
+                dp.write(StrideRange.single(1000 + 8 * i))
+        report = dp.finish()
+        assert report.of_kind(DependenceKind.ANTI)
+        assert not report.of_kind(DependenceKind.FLOW)
+
+    def test_output_dependence_detected(self):
+        dp = LoopDependenceProfiler("waw")
+        for _ in range(4):
+            with dp.iteration():
+                dp.write(StrideRange.single(4096))  # everyone writes one cell
+        report = dp.finish()
+        assert report.of_kind(DependenceKind.OUTPUT)
+
+    def test_reduction_detected(self):
+        dp = LoopDependenceProfiler("sum")
+        acc = StrideRange.single(512)
+        for i in range(8):
+            with dp.iteration():
+                dp.read(StrideRange.block(1000 + 64 * i, 8, 8))
+                dp.read(acc)
+                dp.write(acc)
+        report = dp.finish()
+        assert report.reduction_ranges
+        assert not report.flow_outside_reductions()
+
+    def test_reduction_plus_real_dependence(self):
+        dp = LoopDependenceProfiler("mixed")
+        acc = StrideRange.single(512)
+        for i in range(6):
+            with dp.iteration():
+                dp.read(acc)
+                dp.write(acc)
+                if i > 0:
+                    dp.read(StrideRange.single(2000 + 8 * (i - 1)))
+                dp.write(StrideRange.single(2000 + 8 * i))
+        report = dp.finish()
+        assert report.reduction_ranges
+        assert report.flow_outside_reductions()  # the recurrence remains
+
+    def test_strided_column_access_conflict(self):
+        # Iteration i writes column i of a row-major matrix (stride = row
+        # bytes); iteration i+1 reads column i -> strided flow dependence.
+        row = 512
+        dp = LoopDependenceProfiler("columns")
+        for i in range(4):
+            with dp.iteration():
+                if i > 0:
+                    dp.read(StrideRange(8 * (i - 1), row, 16))
+                dp.write(StrideRange(8 * i, row, 16))
+        report = dp.finish()
+        assert report.of_kind(DependenceKind.FLOW)
+
+    def test_access_outside_iteration_rejected(self):
+        dp = LoopDependenceProfiler()
+        with pytest.raises(ConfigurationError):
+            dp.read(StrideRange.single(0))
+
+    def test_nested_iterations_rejected(self):
+        dp = LoopDependenceProfiler()
+        with pytest.raises(ConfigurationError):
+            with dp.iteration():
+                with dp.iteration():
+                    pass
+
+    def test_finish_twice_rejected(self):
+        dp = LoopDependenceProfiler()
+        with dp.iteration():
+            pass
+        dp.finish()
+        with pytest.raises(ConfigurationError):
+            with dp.iteration():
+                pass
+
+    def test_witness_cap(self):
+        dp = LoopDependenceProfiler("waw", max_witnesses=3)
+        for _ in range(50):
+            with dp.iteration():
+                dp.write(StrideRange.single(0))
+        report = dp.finish()
+        assert len(report.dependences) <= 3
+
+
+class TestSuggest:
+    def _report_for(self, builder) -> AnnotationAdvice:
+        dp = LoopDependenceProfiler("loop")
+        builder(dp)
+        return suggest(dp.finish())
+
+    def test_doall_advice(self):
+        def build(dp):
+            for i in range(4):
+                with dp.iteration():
+                    dp.write(StrideRange.single(100 + 8 * i))
+
+        advice = self._report_for(build)
+        assert advice.verdict is Parallelizability.DOALL
+        assert any("PAR_SEC_BEGIN" in s for s in advice.instructions)
+
+    def test_reduction_advice(self):
+        def build(dp):
+            acc = StrideRange.single(0)
+            for i in range(4):
+                with dp.iteration():
+                    dp.read(acc)
+                    dp.write(acc)
+
+        advice = self._report_for(build)
+        assert advice.verdict is Parallelizability.REDUCTION
+        assert advice.locks_needed == 1
+        assert any("LOCK_BEGIN" in s for s in advice.instructions)
+
+    def test_privatizable_advice(self):
+        def build(dp):
+            tmp = StrideRange.single(64)
+            for i in range(4):
+                with dp.iteration():
+                    dp.write(tmp)  # per-iteration scratch, never read later
+
+        advice = self._report_for(build)
+        assert advice.verdict is Parallelizability.PRIVATIZABLE
+
+    def test_serial_advice(self):
+        def build(dp):
+            for i in range(4):
+                with dp.iteration():
+                    if i > 0:
+                        dp.read(StrideRange.single(8 * (i - 1)))
+                    dp.write(StrideRange.single(8 * i))
+
+        advice = self._report_for(build)
+        assert advice.verdict is Parallelizability.SERIAL
+        assert any("pipeline" in s for s in advice.instructions)
+
+    def test_summary_renders(self):
+        def build(dp):
+            with dp.iteration():
+                dp.write(StrideRange.single(0))
+
+        advice = self._report_for(build)
+        text = advice.summary()
+        assert "loop" in text

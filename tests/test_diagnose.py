@@ -1,0 +1,136 @@
+"""Tests for the bottleneck diagnoser (Table III's 'diagnose bottleneck')."""
+
+import pytest
+
+from repro.core.diagnose import BottleneckDiagnoser
+from repro.core.profiler import IntervalProfiler
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.simhw import MachineConfig
+from repro.simhw.memtrace import AccessPattern, MemSpec
+
+M = MachineConfig(n_cores=12)
+
+
+def profile_of(program, machine=M):
+    return IntervalProfiler(machine).profile(program)
+
+
+def diagnose_one(program, n_threads=8, schedule=Schedule.static(), with_mem=False):
+    profile = profile_of(program)
+    if with_mem:
+        from repro import ParallelProphet
+
+        ParallelProphet(machine=M).attach_burdens(profile, [n_threads])
+    d = BottleneckDiagnoser(schedule=schedule)
+    results = d.diagnose(profile, n_threads)
+    assert len(results) >= 1
+    return results[0]
+
+
+class TestDominantCauses:
+    def test_lock_bound_section(self):
+        def program(tr):
+            with tr.section("locks"):
+                for _ in range(16):
+                    with tr.task():
+                        tr.compute(10_000)
+                        with tr.lock(1):
+                            tr.compute(40_000)
+
+        diag = diagnose_one(program)
+        assert diag.dominant_cause() == "locks"
+        assert diag.predicted_speedup < 2.0  # heavily serialized
+
+    def test_imbalanced_section(self):
+        def program(tr):
+            with tr.section("ramp"):
+                for i in range(16):
+                    with tr.task():
+                        tr.compute((i + 1) * 100_000)
+
+        diag = diagnose_one(program, schedule=Schedule.static())
+        assert diag.dominant_cause() == "imbalance"
+
+    def test_overhead_bound_section(self):
+        def program(tr):
+            with tr.section("fine"):
+                for _ in range(64):
+                    with tr.task():
+                        tr.compute(300)  # tiny tasks, dispatch dominates
+
+        diag = diagnose_one(program, schedule=Schedule.dynamic(1))
+        assert diag.dominant_cause() == "overhead"
+
+    def test_memory_bound_section(self):
+        def program(tr):
+            spec = MemSpec(AccessPattern.STREAMING, bytes_touched=18_000_000)
+            with tr.section("stream"):
+                for _ in range(16):
+                    with tr.task():
+                        tr.compute(10_000_000, mem=spec)
+
+        diag = diagnose_one(program, n_threads=12, with_mem=True)
+        assert diag.dominant_cause() == "memory"
+
+    def test_healthy_section_is_structural(self):
+        def program(tr):
+            with tr.section("good"):
+                for _ in range(24):
+                    with tr.task():
+                        tr.compute(1_000_000)
+
+        diag = diagnose_one(program)
+        assert diag.dominant_cause() == "structure"
+        assert diag.predicted_speedup > 7.0
+        assert diag.lost_speedup < 1.0
+
+
+class TestDiagnosisMechanics:
+    def test_attributions_nonnegative(self):
+        def program(tr):
+            with tr.section("s"):
+                for i in range(8):
+                    with tr.task():
+                        tr.compute(10_000 * (i + 1))
+                        with tr.lock(1):
+                            tr.compute(2_000)
+
+        diag = diagnose_one(program)
+        assert all(v >= 0.0 for v in diag.attributions.values())
+        assert set(diag.attributions) == {"imbalance", "locks", "overhead", "memory"}
+
+    def test_multiple_sections_diagnosed(self):
+        def program(tr):
+            with tr.section("a"):
+                with tr.task():
+                    tr.compute(1_000)
+            with tr.section("b"):
+                with tr.task():
+                    tr.compute(1_000)
+
+        profile = profile_of(program)
+        results = BottleneckDiagnoser().diagnose(profile, 4)
+        assert [r.name for r in results] == ["a", "b"]
+
+    def test_summary_renders(self):
+        def program(tr):
+            with tr.section("s"):
+                for _ in range(4):
+                    with tr.task():
+                        tr.compute(1_000)
+
+        diag = diagnose_one(program, n_threads=4)
+        text = diag.summary()
+        assert "s:" in text and "dominant cause" in text
+
+    def test_ideal_and_lost(self):
+        def program(tr):
+            with tr.section("s"):
+                with tr.task():
+                    tr.compute(100_000)  # one task: cannot scale
+
+        diag = diagnose_one(program, n_threads=8)
+        assert diag.ideal_speedup == 8.0
+        assert diag.lost_speedup > 6.5
+        # A single task is a structural limit: no knockout recovers it.
+        assert diag.dominant_cause() == "structure"

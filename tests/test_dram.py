@@ -1,0 +1,112 @@
+"""Tests for the self-consistent DRAM contention model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simhw import DramModel, MachineConfig, SegmentDemand
+
+
+@pytest.fixture
+def model() -> DramModel:
+    return DramModel(MachineConfig(n_cores=12, dram_peak_gbs=12.0))
+
+
+def _streaming_segment(machine: MachineConfig) -> SegmentDemand:
+    """A fully memory-bound segment demanding line_size·freq/ω₀ bytes/s."""
+    demand = machine.line_size * machine.freq_hz / machine.base_miss_stall
+    return SegmentDemand(mem_fraction=1.0, demand_bytes_per_sec=demand)
+
+
+class TestSegmentDemand:
+    def test_mem_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SegmentDemand(mem_fraction=1.5, demand_bytes_per_sec=0.0)
+        with pytest.raises(ConfigurationError):
+            SegmentDemand(mem_fraction=-0.1, demand_bytes_per_sec=0.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentDemand(mem_fraction=0.5, demand_bytes_per_sec=-1.0)
+
+
+class TestScalarCurves:
+    def test_queue_factor_is_one_at_zero(self, model):
+        assert model.queue_factor(0.0) == 1.0
+
+    def test_queue_factor_monotone_below_saturation(self, model):
+        values = [model.queue_factor(u) for u in (0.1, 0.3, 0.5, 0.8, 1.0)]
+        assert values == sorted(values)
+
+    def test_queue_factor_clamps_past_saturation(self, model):
+        assert model.queue_factor(5.0) == model.queue_factor(1.0)
+
+    def test_utilisation(self, model):
+        assert model.utilisation(6.0e9) == pytest.approx(0.5)
+
+
+class TestStallMultiplier:
+    def test_empty_set(self, model):
+        assert model.stall_multiplier([]) == 1.0
+        assert model.slowdowns([]) == []
+
+    def test_pure_compute_segment_unaffected(self, model):
+        seg = SegmentDemand(mem_fraction=0.0, demand_bytes_per_sec=0.0)
+        assert model.slowdowns([seg]) == [1.0]
+
+    def test_single_light_segment_near_one(self, model):
+        seg = SegmentDemand(mem_fraction=0.2, demand_bytes_per_sec=1e9)
+        (s,) = model.slowdowns([seg])
+        assert 1.0 <= s < 1.05
+
+    def test_slowdowns_at_least_one(self, model):
+        segs = [
+            SegmentDemand(mem_fraction=f, demand_bytes_per_sec=d)
+            for f, d in [(0.1, 1e9), (0.9, 5e9), (0.5, 3e9)]
+        ]
+        assert all(s >= 1.0 for s in model.slowdowns(segs))
+
+    def test_more_segments_more_slowdown(self, model):
+        machine = model.config
+        seg = _streaming_segment(machine)
+        results = []
+        for n in (1, 2, 4, 8):
+            results.append(model.slowdowns([seg] * n)[0])
+        assert results == sorted(results)
+        assert results[-1] > results[0]
+
+    def test_aggregate_bandwidth_capped_at_peak(self, model):
+        machine = model.config
+        seg = _streaming_segment(machine)
+        for n in (1, 2, 4, 8, 16):
+            achieved = model.aggregate_achieved_bandwidth([seg] * n)
+            assert achieved <= machine.dram_peak_bytes_per_sec * (1 + 1e-9)
+
+    def test_cap_holds_for_compute_diluted_segments(self, model):
+        """The historical bug: compute-diluted segments must not push the
+        aggregate over peak bandwidth."""
+        seg = SegmentDemand(mem_fraction=0.45, demand_bytes_per_sec=2.7e9)
+        achieved = model.aggregate_achieved_bandwidth([seg] * 12)
+        assert achieved <= model.config.dram_peak_bytes_per_sec * (1 + 1e-9)
+        # And the demand genuinely exceeded peak.
+        assert 12 * seg.demand_bytes_per_sec > model.config.dram_peak_bytes_per_sec
+
+    def test_saturated_solve_is_exact(self, model):
+        seg = _streaming_segment(model.config)
+        achieved = model.aggregate_achieved_bandwidth([seg] * 8)
+        assert achieved == pytest.approx(
+            model.config.dram_peak_bytes_per_sec, rel=1e-6
+        )
+
+    def test_heterogeneous_segments(self, model):
+        light = SegmentDemand(mem_fraction=0.1, demand_bytes_per_sec=0.5e9)
+        heavy = _streaming_segment(model.config)
+        s_light, s_heavy = model.slowdowns([light, heavy])
+        # The heavier segment suffers more in absolute slowdown.
+        assert s_heavy > s_light >= 1.0
+
+    def test_effective_miss_stall_grows_under_contention(self, model):
+        seg = _streaming_segment(model.config)
+        alone = model.effective_miss_stall([seg])
+        crowded = model.effective_miss_stall([seg] * 8)
+        assert crowded > alone
+        assert alone >= model.config.base_miss_stall

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are a deliverable; they must not rot.  Each is executed in-process
+(import + main()) with stdout captured; the slowest ones are checked for
+their headline output strings.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "predicted" in out and "real" in out
+        assert "error" in out
+
+    def test_annotation_assist(self, capsys):
+        out = run_example("annotation_assist", capsys)
+        assert "doall" in out
+        assert "reduction" in out
+        assert "serial" in out
+        assert "overall" in out
+
+    def test_pipeline_parallelism(self, capsys):
+        out = run_example("pipeline_parallelism", capsys)
+        assert "plateaus" in out
+        assert "2.80x" in out  # the theoretical ceiling is printed
+
+    def test_memory_bound(self, capsys):
+        out = run_example("memory_bound", capsys)
+        assert "burden factors" in out
+        assert "Fig. 2 reproduced" in out
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload", capsys)
+        assert "verdict" in out
+
+    def test_lu_reduction(self, capsys):
+        out = run_example("lu_reduction", capsys)
+        assert "suitability" in out
+
+    def test_recursive_fft(self, capsys):
+        out = run_example("recursive_fft", capsys)
+        assert "no meaningful prediction" in out
+
+    @pytest.mark.slow
+    def test_machine_whatif(self, capsys):
+        out = run_example("machine_whatif", capsys)
+        assert "useful-core count" in out
+
+    @pytest.mark.slow
+    def test_input_sensitivity(self, capsys):
+        out = run_example("input_sensitivity", capsys)
+        assert "drift" in out

@@ -1,0 +1,198 @@
+"""End-to-end integration tests reproducing the paper's headline results in
+miniature: Fig. 5 schedule sensitivity, Fig. 7 FF-vs-synthesizer, Fig. 2/12
+memory saturation, and Fig. 11-style validation accuracy."""
+
+import numpy as np
+import pytest
+
+from repro import ParallelProphet
+from repro.baselines import SuitabilityAnalysis
+from repro.core.report import error_ratio
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.simhw import MachineConfig
+from repro.workloads import get_workload, random_test1
+from repro.workloads import test1_program as make_test1
+
+M12 = MachineConfig(n_cores=12)
+M2 = MachineConfig(n_cores=2, timeslice_cycles=20_000.0)
+
+
+@pytest.fixture(scope="module")
+def prophet12():
+    p = ParallelProphet(machine=M12)
+    p.calibration([2, 4, 8, 12])
+    return p
+
+
+class TestFig7NestedMisprediction:
+    """Paper Fig. 7: two-level nested loop on a dual core.  FF predicts
+    1.5x, the real machine and the synthesizer reach 2.0x."""
+
+    @pytest.fixture(scope="class")
+    def profile(self):
+        unit = 1e6
+
+        def program(tr):
+            with tr.section("Loop1"):
+                with tr.task("I0"):
+                    with tr.section("LoopA"):
+                        with tr.task():
+                            tr.compute(10 * unit)
+                        with tr.task():
+                            tr.compute(5 * unit)
+                with tr.task("I1"):
+                    with tr.section("LoopB"):
+                        with tr.task():
+                            tr.compute(5 * unit)
+                        with tr.task():
+                            tr.compute(10 * unit)
+
+        prophet = ParallelProphet(
+            machine=M2, overheads=RuntimeOverheads().scaled(0.0)
+        )
+        return prophet, prophet.profile(program)
+
+    def test_ff_predicts_1_5(self, profile):
+        prophet, prof = profile
+        report = prophet.predict(
+            prof, threads=[2], methods=("ff",), memory_model=False
+        )
+        assert report.speedup(method="ff", n_threads=2) == pytest.approx(1.5, rel=0.02)
+
+    def test_real_is_2_0(self, profile):
+        prophet, prof = profile
+        report = prophet.measure_real(prof, threads=[2])
+        assert report.speedup(n_threads=2) == pytest.approx(2.0, rel=0.03)
+
+    def test_synthesizer_fixes_it(self, profile):
+        prophet, prof = profile
+        report = prophet.predict(
+            prof, threads=[2], methods=("syn",), memory_model=False
+        )
+        assert report.speedup(method="syn", n_threads=2) == pytest.approx(2.0, rel=0.03)
+
+
+class TestFig2MemorySaturation:
+    """Paper Fig. 2: FT-like saturation, Pred overshoots, PredM tracks."""
+
+    def test_saturation_predicted(self, prophet12):
+        wl = get_workload("npb_ft", planes=12, timesteps=1)
+        prof = prophet12.profile(wl.program)
+        threads = [2, 6, 12]
+        real = prophet12.measure_real(prof, threads)
+        pred_m = prophet12.predict(prof, threads, memory_model=True)
+        pred = prophet12.predict(prof, threads, memory_model=False)
+
+        r12 = real.speedup(n_threads=12)
+        assert r12 < 6.0  # saturates well below linear
+        # Memory-blind prediction overshoots by >2x.
+        assert pred.speedup(method="syn", n_threads=12) > 2 * r12
+        # Burden-factor prediction lands within the paper's ~30% band.
+        pm12 = pred_m.speedup(method="syn", n_threads=12)
+        assert error_ratio(pm12, r12) < 0.30
+        # And at low thread counts everything agrees.
+        assert error_ratio(
+            pred_m.speedup(method="syn", n_threads=2), real.speedup(n_threads=2)
+        ) < 0.10
+
+
+class TestFig11Validation:
+    """A miniature of the paper's 300-sample Test1 validation: FF and SYN
+    predictions vs real replays across schedules; average error must be
+    small (the paper reports <4% average for Test1 with the FF)."""
+
+    @pytest.mark.parametrize("schedule", ["static", "static,1", "dynamic,1"])
+    def test_test1_accuracy(self, schedule):
+        prophet = ParallelProphet(machine=MachineConfig(n_cores=8))
+        rng = np.random.default_rng(1234)
+        errors_ff, errors_syn = [], []
+        for _ in range(6):
+            params = random_test1(rng, scale=0.5)
+            prof = prophet.profile(make_test1(params))
+            real = prophet.measure_real(prof, [8], schedule=schedule)
+            pred = prophet.predict(
+                prof,
+                threads=[8],
+                schedules=[schedule],
+                methods=("ff", "syn"),
+                memory_model=False,
+            )
+            r = real.speedup(n_threads=8)
+            errors_ff.append(error_ratio(pred.speedup(method="ff", n_threads=8), r))
+            errors_syn.append(error_ratio(pred.speedup(method="syn", n_threads=8), r))
+        assert float(np.mean(errors_ff)) < 0.10
+        assert float(np.mean(errors_syn)) < 0.05
+        assert max(errors_syn) < 0.20
+
+
+class TestTableICapabilities:
+    """Spot checks of the Table I capability matrix."""
+
+    def test_prophet_handles_recursion_suitability_does_not(self, prophet12):
+        # Depth-5 recursion (4096 points, 256 base) exceeds what the
+        # Suitability-like tool can emulate.
+        wl = get_workload("ompscr_fft", n_points=4096)
+        prof = prophet12.profile(wl.program)
+        suit = SuitabilityAnalysis()
+        assert not suit.supports(prof)
+        report = prophet12.predict(
+            prof, threads=[4], paradigm="cilk", memory_model=False
+        )
+        assert report.speedup(method="syn", n_threads=4) > 1.5
+
+    def test_prophet_schedule_awareness(self, prophet12):
+        """Suitability emulates ~dynamic,1 only; Prophet distinguishes
+        schedules on imbalanced loops."""
+
+        def program(tr):
+            with tr.section("ramp"):
+                for i in range(24):
+                    with tr.task():
+                        tr.compute((i + 1) * 40_000)
+
+        prof = prophet12.profile(program)
+        report = prophet12.predict(
+            prof,
+            threads=[8],
+            schedules=["static", "dynamic,1"],
+            memory_model=False,
+        )
+        s_static = report.speedup(method="syn", schedule="static", n_threads=8)
+        s_dyn = report.speedup(method="syn", schedule="dynamic,1", n_threads=8)
+        assert s_dyn > s_static * 1.2
+
+
+class TestWholeWorkloadSweep:
+    """Every benchmark runs through the full pipeline at a small scale and
+    the synthesizer prediction lands near the real replay (the Fig. 12
+    property, cheap version)."""
+
+    SCALES = {
+        "ompscr_md": dict(particles=96, steps=1),
+        "ompscr_lu": dict(size=48),
+        "ompscr_fft": dict(n_points=2048),
+        "ompscr_qsort": dict(elements=80_000),
+        "npb_ep": dict(batches=48),
+        "npb_ft": dict(planes=12, timesteps=1),
+        "npb_mg": dict(fine_planes=12, cycles_count=1),
+        "npb_cg": dict(outer_steps=1, inner_iterations=3, row_blocks=16),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_predm_tracks_real(self, name, prophet12):
+        wl = get_workload(name, **self.SCALES[name])
+        prof = prophet12.profile(wl.program)
+        real = prophet12.measure_real(
+            prof, [8], paradigm=wl.paradigm, schedule=wl.schedule
+        )
+        pred = prophet12.predict(
+            prof,
+            threads=[8],
+            paradigm=wl.paradigm,
+            schedules=[wl.schedule],
+            methods=("syn",),
+            memory_model=True,
+        )
+        r = real.speedup(n_threads=8)
+        p = pred.speedup(method="syn", n_threads=8)
+        assert error_ratio(p, r) < 0.30

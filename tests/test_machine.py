@@ -1,0 +1,64 @@
+"""Tests for machine configuration and unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig, WESTMERE_12
+
+
+class TestMachineConfigValidation:
+    def test_default_matches_paper_testbed(self):
+        assert WESTMERE_12.n_cores == 12
+        assert WESTMERE_12.llc_bytes == 12 * 2**20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"freq_ghz": 0.0},
+            {"freq_ghz": -1.0},
+            {"line_size": 0},
+            {"line_size": 48},  # not a power of two
+            {"llc_bytes": 0},
+            {"llc_assoc": 0},
+            {"base_miss_stall": -1.0},
+            {"dram_peak_gbs": 0.0},
+            {"dram_queue_gain": -0.1},
+            {"timeslice_cycles": 0.0},
+            {"tracer_overhead_cycles": -1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WESTMERE_12.n_cores = 4  # type: ignore[misc]
+
+
+class TestConversions:
+    def test_freq_hz(self):
+        m = MachineConfig(freq_ghz=2.0)
+        assert m.freq_hz == 2.0e9
+
+    def test_cycles_seconds_roundtrip(self):
+        m = MachineConfig(freq_ghz=2.8)
+        assert m.seconds_to_cycles(m.cycles_to_seconds(1e9)) == pytest.approx(1e9)
+
+    def test_traffic_mbs(self):
+        m = MachineConfig(freq_ghz=1.0, line_size=64)
+        # 1e6 misses over 1e9 cycles at 1 GHz = 1 second -> 64 MB/s.
+        assert m.traffic_mbs(1e6, 1e9) == pytest.approx(64.0)
+
+    def test_traffic_zero_cycles(self):
+        assert MachineConfig().traffic_mbs(100, 0) == 0.0
+
+    def test_with_cores(self):
+        m = WESTMERE_12.with_cores(4)
+        assert m.n_cores == 4
+        assert m.llc_bytes == WESTMERE_12.llc_bytes
+
+    def test_dram_peak_bytes(self):
+        m = MachineConfig(dram_peak_gbs=12.0)
+        assert m.dram_peak_bytes_per_sec == 12.0e9

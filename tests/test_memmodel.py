@@ -1,0 +1,147 @@
+"""Tests for the burden-factor memory model (paper Section V)."""
+
+import pytest
+
+from repro.core.memmodel import (
+    MPI_THRESHOLD,
+    MemoryModel,
+    MissVariation,
+    TrafficLevel,
+    classify_memory_behavior,
+)
+from repro.core.microbench import calibrate_memory_model
+from repro.core.profiler import SectionCounters
+from repro.errors import CalibrationError
+from repro.simhw import CounterSet, MachineConfig
+
+M = MachineConfig(n_cores=12)
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate_memory_model(M, thread_counts=(2, 4, 8, 12))
+
+
+def section_with(instructions, cycles, misses, name="s") -> SectionCounters:
+    return SectionCounters(
+        name=name,
+        total=CounterSet(instructions, cycles, misses),
+        invocations=1,
+    )
+
+
+def memory_heavy_section(machine=M) -> SectionCounters:
+    """A section matching an FT-like profile: ~0.45 memory fraction."""
+    instructions = 1e8
+    misses = instructions * 0.028
+    cycles = instructions * 1.0 + misses * machine.base_miss_stall
+    return section_with(instructions, cycles, misses)
+
+
+class TestBurdenFactor:
+    def test_low_mpi_gives_one(self, calibration):
+        model = MemoryModel(calibration)
+        sec = section_with(1e8, 1e8, 1e8 * MPI_THRESHOLD * 0.5)
+        assert model.burden(sec, 12) == 1.0
+
+    def test_low_traffic_gives_one(self, calibration):
+        model = MemoryModel(calibration)
+        # High MPI but glacial execution -> tiny MB/s.
+        sec = section_with(1e6, 1e12, 5e3)
+        assert model.burden(sec, 12) == 1.0
+
+    def test_single_thread_is_one(self, calibration):
+        model = MemoryModel(calibration)
+        assert model.burden(memory_heavy_section(), 1) == 1.0
+
+    def test_memory_heavy_burden_exceeds_one(self, calibration):
+        model = MemoryModel(calibration)
+        beta = model.burden(memory_heavy_section(), 12)
+        assert beta > 1.2
+
+    def test_burden_at_least_one(self, calibration):
+        model = MemoryModel(calibration)
+        for t in (2, 4, 8, 12):
+            assert model.burden(memory_heavy_section(), t) >= 1.0
+
+    def test_burden_grows_broadly_with_threads(self, calibration):
+        model = MemoryModel(calibration)
+        betas = [model.burden(memory_heavy_section(), t) for t in (2, 4, 8, 12)]
+        assert betas[-1] > betas[0]
+
+    def test_ft_like_range_matches_paper(self, calibration):
+        """Paper: 'the burden factors of NPB-FT show the range of 1.0 to
+        1.45 for two to 12 cores' — ours should be the same order."""
+        model = MemoryModel(calibration)
+        betas = [model.burden(memory_heavy_section(), t) for t in (2, 4, 8, 12)]
+        assert betas[0] < 1.3
+        assert 1.3 < betas[-1] < 5.0
+
+    def test_empty_counters_rejected(self, calibration):
+        model = MemoryModel(calibration)
+        with pytest.raises(CalibrationError):
+            model.burden(section_with(0, 0, 0), 4)
+
+    def test_breakdowns_recorded(self, calibration):
+        model = MemoryModel(calibration)
+        model.burden(memory_heavy_section(), 8)
+        assert model.breakdowns[-1].n_threads == 8
+        assert model.breakdowns[-1].beta >= 1.0
+
+    def test_burden_table(self, calibration):
+        model = MemoryModel(calibration)
+        table = model.burden_table(memory_heavy_section(), [2, 4, 8])
+        assert set(table) == {2, 4, 8}
+
+
+class TestAttach:
+    def test_attach_fills_profile(self, calibration):
+        from repro.core.profiler import IntervalProfiler
+        from repro.simhw.memtrace import AccessPattern, MemSpec
+
+        def program(tr):
+            spec = MemSpec(AccessPattern.STREAMING, bytes_touched=18_000_000)
+            with tr.section("hot"):
+                for _ in range(8):
+                    with tr.task():
+                        tr.compute(10_000_000, mem=spec)
+
+        profile = IntervalProfiler(M).profile(program)
+        model = MemoryModel(calibration)
+        model.attach(profile, [2, 12])
+        assert set(profile.burdens["hot"]) == {2, 12}
+        assert profile.burdens["hot"][12] > 1.0
+
+
+class TestClassification:
+    def test_low_traffic_scalable(self):
+        level, verdict = classify_memory_behavior(100.0, M)
+        assert level is TrafficLevel.LOW
+        assert verdict == "Scalable"
+
+    def test_moderate(self):
+        level, verdict = classify_memory_behavior(1800.0, M)
+        assert level is TrafficLevel.MODERATE
+        assert verdict == "Slowdown"
+
+    def test_heavy(self):
+        level, verdict = classify_memory_behavior(2500.0, M)
+        assert level is TrafficLevel.HEAVY
+        assert verdict == "Slowdown++"
+
+    def test_decreasing_misses_superlinear_row(self):
+        _, verdict = classify_memory_behavior(
+            100.0, M, MissVariation.DECREASES
+        )
+        assert "superlinear" in verdict
+
+    def test_increasing_misses_row(self):
+        _, verdict = classify_memory_behavior(
+            1800.0, M, MissVariation.INCREASES
+        )
+        assert verdict == "Slowdown+"
+
+    def test_thresholds_scale_with_peak(self):
+        fast = MachineConfig(dram_peak_gbs=100.0)
+        level, _ = classify_memory_behavior(6000.0, fast)
+        assert level is TrafficLevel.LOW

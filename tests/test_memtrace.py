@@ -1,0 +1,166 @@
+"""Tests for memory specs, analytic miss models, and their agreement with
+the reference cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simhw import (
+    AccessPattern,
+    CacheConfig,
+    MemSpec,
+    SetAssociativeCache,
+    analytic_llc_misses,
+    generate_trace,
+)
+from repro.simhw.memtrace import scaled_spec
+
+LLC = 1 << 20  # 1 MB for fast trace validation
+LINE = 64
+
+
+class TestMemSpec:
+    def test_none_pattern_default(self):
+        spec = MemSpec()
+        assert spec.pattern is AccessPattern.NONE
+
+    def test_working_set_defaults_to_bytes(self):
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=1000)
+        assert spec.working_set == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemSpec(AccessPattern.STREAMING, bytes_touched=-1)
+
+    def test_pattern_without_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemSpec(AccessPattern.STREAMING, bytes_touched=0)
+
+
+class TestAnalyticMisses:
+    def test_none_is_zero(self):
+        assert analytic_llc_misses(MemSpec(), LLC, LINE) == 0.0
+
+    def test_streaming_overflow(self):
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=4 * LLC)
+        assert analytic_llc_misses(spec, LLC, LINE) == pytest.approx(4 * LLC / LINE)
+
+    def test_streaming_fitting_only_cold(self):
+        spec = MemSpec(
+            AccessPattern.STREAMING, bytes_touched=8 * LLC, working_set=LLC // 2
+        )
+        # Working set fits: only the first pass misses.
+        assert analytic_llc_misses(spec, LLC, LINE) == pytest.approx(LLC // 2 / LINE)
+
+    def test_resident_cold_only(self):
+        spec = MemSpec(
+            AccessPattern.RESIDENT, bytes_touched=10 * LLC, working_set=LLC // 4
+        )
+        assert analytic_llc_misses(spec, LLC, LINE) == pytest.approx(LLC // 4 / LINE)
+
+    def test_resident_oversized_degrades_to_streaming(self):
+        spec = MemSpec(
+            AccessPattern.RESIDENT, bytes_touched=4 * LLC, working_set=4 * LLC
+        )
+        assert analytic_llc_misses(spec, LLC, LINE) == pytest.approx(4 * LLC / LINE)
+
+    def test_random_fully_resident(self):
+        spec = MemSpec(
+            AccessPattern.RANDOM, bytes_touched=16 * LLC, working_set=LLC // 2
+        )
+        misses = analytic_llc_misses(spec, LLC, LINE)
+        # Once warm, everything hits: only cold misses remain.
+        assert misses == pytest.approx(LLC // 2 / LINE, rel=0.01)
+
+    def test_random_overflowing_misses_proportionally(self):
+        spec = MemSpec(
+            AccessPattern.RANDOM, bytes_touched=16 * LLC, working_set=4 * LLC
+        )
+        misses = analytic_llc_misses(spec, LLC, LINE)
+        accesses = 16 * LLC / LINE
+        # Hit probability ~ llc/ws = 1/4 -> ~3/4 miss, plus cold fills.
+        assert misses == pytest.approx(0.75 * accesses, rel=0.1)
+
+    def test_misses_monotone_in_working_set(self):
+        prev = 0.0
+        for ws in (LLC // 2, LLC, 2 * LLC, 8 * LLC):
+            spec = MemSpec(
+                AccessPattern.RANDOM, bytes_touched=8 * LLC, working_set=ws
+            )
+            misses = analytic_llc_misses(spec, LLC, LINE)
+            assert misses >= prev
+            prev = misses
+
+
+class TestTraceAgreement:
+    """The analytic models must agree with the reference simulator."""
+
+    def _simulate(self, spec: MemSpec, seed: int = 7) -> float:
+        rng = np.random.default_rng(seed)
+        trace = generate_trace(spec, LINE, rng, max_accesses=200_000)
+        cache = SetAssociativeCache(CacheConfig(LLC, LINE, 16))
+        cache.access_block(trace)
+        scale = (spec.bytes_touched / LINE) / max(1, len(trace))
+        return cache.stats.misses * scale
+
+    def test_streaming_agrees(self):
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=4 * LLC)
+        analytic = analytic_llc_misses(spec, LLC, LINE)
+        simulated = self._simulate(spec)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_resident_agrees(self):
+        spec = MemSpec(
+            AccessPattern.RESIDENT, bytes_touched=4 * LLC, working_set=LLC // 2
+        )
+        analytic = analytic_llc_misses(spec, LLC, LINE)
+        simulated = self._simulate(spec)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_random_agrees_within_model_error(self):
+        spec = MemSpec(
+            AccessPattern.RANDOM, bytes_touched=8 * LLC, working_set=4 * LLC
+        )
+        analytic = analytic_llc_misses(spec, LLC, LINE)
+        simulated = self._simulate(spec)
+        assert simulated == pytest.approx(analytic, rel=0.15)
+
+
+class TestGenerateTrace:
+    def test_none_empty(self):
+        rng = np.random.default_rng(0)
+        assert generate_trace(MemSpec(), LINE, rng).size == 0
+
+    def test_addresses_within_working_set(self):
+        rng = np.random.default_rng(0)
+        spec = MemSpec(AccessPattern.RANDOM, bytes_touched=LLC, working_set=LLC // 4)
+        trace = generate_trace(spec, LINE, rng)
+        assert trace.max() < LLC // 4
+        assert trace.min() >= 0
+
+    def test_base_address_offset(self):
+        rng = np.random.default_rng(0)
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=1024)
+        trace = generate_trace(spec, LINE, rng, base_address=1 << 30)
+        assert trace.min() >= 1 << 30
+
+    def test_max_accesses_bound(self):
+        rng = np.random.default_rng(0)
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=100 * LLC)
+        trace = generate_trace(spec, LINE, rng, max_accesses=1000)
+        assert len(trace) == 1000
+
+
+class TestScaledSpec:
+    def test_scaling(self):
+        spec = MemSpec(AccessPattern.STREAMING, bytes_touched=1000, working_set=2000)
+        half = scaled_spec(spec, 0.5)
+        assert half.bytes_touched == 500
+        assert half.working_set == 2000
+
+    def test_none_passthrough(self):
+        assert scaled_spec(MemSpec(), 0.5).pattern is AccessPattern.NONE
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            scaled_spec(MemSpec(), 1.5)

@@ -1,0 +1,108 @@
+"""Tests for the DRAM calibration microbenchmark and Ψ/Φ fits (Eqs. 6-7)."""
+
+import pytest
+
+from repro.core.microbench import (
+    CalibrationResult,
+    PhiFit,
+    PsiFit,
+    calibrate_memory_model,
+)
+from repro.errors import CalibrationError
+from repro.simhw import MachineConfig
+
+M = MachineConfig(n_cores=12)
+
+
+@pytest.fixture(scope="module")
+def cal() -> CalibrationResult:
+    return calibrate_memory_model(M, thread_counts=(2, 4, 8, 12))
+
+
+class TestCalibrationRun:
+    def test_psi_fit_per_thread_count(self, cal):
+        assert set(cal.psi) == {2, 4, 8, 12}
+
+    def test_t2_is_linear_others_log(self, cal):
+        """Eq. 6's functional forms: linear for t=2, logarithmic for t>=4."""
+        assert cal.psi[2].form == "linear"
+        for t in (4, 8, 12):
+            assert cal.psi[t].form == "log"
+
+    def test_phi_power_law_negative_exponent(self, cal):
+        """Eq. 7: omega = a * delta^b with b < 0 (the paper's -0.964)."""
+        assert cal.phi.b < 0
+        assert cal.phi.a > 0
+
+    def test_samples_recorded(self, cal):
+        assert len(cal.samples) > 30
+        assert any(s.n_threads == 1 for s in cal.samples)
+        assert any(s.n_threads == 12 for s in cal.samples)
+
+    def test_summary_renders_formulas(self, cal):
+        text = cal.summary()
+        assert "delta_2" in text and "omega_t" in text
+
+    def test_no_thread_counts_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_memory_model(M, thread_counts=(1,))
+
+
+class TestPsiPredictions:
+    def test_single_thread_identity(self, cal):
+        assert cal.predict_per_thread_traffic(3000.0, 1) == 3000.0
+
+    def test_per_thread_traffic_decreases_with_threads(self, cal):
+        delta = 3000.0
+        values = [cal.predict_per_thread_traffic(delta, t) for t in (2, 4, 8, 12)]
+        assert values[0] > values[-1]
+
+    def test_never_exceeds_demand(self, cal):
+        for delta in (2000.0, 3000.0, 5000.0):
+            for t in (2, 4, 8, 12):
+                assert cal.predict_per_thread_traffic(delta, t) <= delta
+
+    def test_interpolation_between_calibrated_counts(self, cal):
+        d6 = cal.predict_per_thread_traffic(3000.0, 6)
+        d4 = cal.predict_per_thread_traffic(3000.0, 4)
+        d8 = cal.predict_per_thread_traffic(3000.0, 8)
+        assert min(d4, d8) <= d6 <= max(d4, d8)
+
+    def test_saturated_total_near_peak(self, cal):
+        """At heavy serial traffic, predicted total achieved traffic for 12
+        threads should sit near the machine's peak bandwidth."""
+        total = 12 * cal.predict_per_thread_traffic(4000.0, 12)
+        peak_mbs = M.dram_peak_bytes_per_sec / 1e6
+        assert total == pytest.approx(peak_mbs, rel=0.35)
+
+
+class TestPhiPredictions:
+    def test_stall_grows_as_per_thread_traffic_falls(self, cal):
+        low = cal.predict_stall(800.0)
+        high = cal.predict_stall(4000.0)
+        assert low > high
+
+    def test_floor_is_base_stall(self, cal):
+        assert cal.predict_stall(1e9) == M.base_miss_stall
+        assert cal.predict_stall(0.0) == M.base_miss_stall
+
+    def test_phi_formula_renders(self, cal):
+        assert "omega_t" in cal.phi.formula()
+
+
+class TestFitObjects:
+    def test_psifit_linear_eval(self):
+        fit = PsiFit(n_threads=2, form="linear", a=2.0, b=100.0)
+        assert fit.total_traffic(1000.0) == pytest.approx(2100.0)
+        assert fit.per_thread(1000.0) == pytest.approx(1000.0)  # clamped to demand
+
+    def test_psifit_log_eval(self):
+        import math
+
+        fit = PsiFit(n_threads=4, form="log", a=1000.0, b=0.0)
+        assert fit.total_traffic(math.e**2) == pytest.approx(2000.0)
+
+    def test_phifit_eval(self):
+        fit = PhiFit(a=1e5, b=-1.0, floor=30.0)
+        assert fit.stall_per_miss(1000.0) == pytest.approx(100.0)
+        assert fit.stall_per_miss(1e9) == 30.0  # floored

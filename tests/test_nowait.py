@@ -1,0 +1,182 @@
+"""Tests for nowait semantics (PAR_SEC_END(nowait), Table II).
+
+The paper lists multiple locks and OpenMP's ``nowait`` as annotation
+features beyond Suitability's.  With nowait, a thread finishing its share
+of one worksharing loop proceeds straight into the next — complementary
+imbalance across consecutive loops cancels instead of stacking barriers.
+"""
+
+import pytest
+
+from repro import ParallelProphet
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.profiler import IntervalProfiler
+from repro.core.tree import group_nowait_chains
+from repro.runtime import OmpRuntime, RuntimeOverheads, Schedule
+from repro.simhw import MachineConfig
+from repro.simos import Compute, SimKernel
+
+M = MachineConfig(n_cores=4)
+ZERO_OH = RuntimeOverheads().scaled(0.0)
+
+
+def complementary_program(nowait: bool):
+    """Loop A's ramp and loop B's reverse ramp: with nowait each thread's
+    A+B total is constant; with barriers the imbalance bites twice."""
+
+    def program(tr):
+        with tr.section("A", barrier=not nowait):
+            for i in range(4):
+                with tr.task():
+                    tr.compute((i + 1) * 100_000)
+        with tr.section("B"):
+            for i in range(4):
+                with tr.task():
+                    tr.compute((4 - i) * 100_000)
+
+    return program
+
+
+class TestChainGrouping:
+    def test_chain_formed(self):
+        profile = IntervalProfiler(M).profile(complementary_program(True))
+        groups = group_nowait_chains(profile.tree.root.children)
+        assert len(groups) == 1
+        assert isinstance(groups[0], list) and len(groups[0]) == 2
+
+    def test_no_chain_with_barriers(self):
+        profile = IntervalProfiler(M).profile(complementary_program(False))
+        groups = group_nowait_chains(profile.tree.root.children)
+        assert len(groups) == 2
+        assert all(not isinstance(g, list) for g in groups)
+
+    def test_trailing_nowait_not_chained_alone(self):
+        def program(tr):
+            with tr.section("only", barrier=False):
+                with tr.task():
+                    tr.compute(100)
+
+        profile = IntervalProfiler(M).profile(program)
+        groups = group_nowait_chains(profile.tree.root.children)
+        assert len(groups) == 1 and not isinstance(groups[0], list)
+
+
+class TestRuntimeParallelLoops:
+    def test_nowait_lets_threads_flow_through(self):
+        kernel = SimKernel(M)
+        omp = OmpRuntime(kernel, ZERO_OH)
+
+        def body(c):
+            def f():
+                yield Compute(cycles=c)
+
+            return f
+
+        loop_a = [body((i + 1) * 100_000) for i in range(4)]
+        loop_b = [body((4 - i) * 100_000) for i in range(4)]
+
+        def master():
+            yield from omp.parallel_loops(
+                [(loop_a, Schedule.static_chunk(1), True),
+                 (loop_b, Schedule.static_chunk(1), False)],
+                n_threads=4,
+            )
+
+        kernel.spawn(master())
+        end = kernel.run()
+        # Per-thread totals are all 500k: perfect overlap.
+        assert end == pytest.approx(500_000.0, rel=0.01)
+
+    def test_barrier_boundary_stacks_imbalance(self):
+        kernel = SimKernel(M)
+        omp = OmpRuntime(kernel, ZERO_OH)
+
+        def body(c):
+            def f():
+                yield Compute(cycles=c)
+
+            return f
+
+        loop_a = [body((i + 1) * 100_000) for i in range(4)]
+        loop_b = [body((4 - i) * 100_000) for i in range(4)]
+
+        def master():
+            yield from omp.parallel_loops(
+                [(loop_a, Schedule.static_chunk(1), False),
+                 (loop_b, Schedule.static_chunk(1), False)],
+                n_threads=4,
+            )
+
+        kernel.spawn(master())
+        end = kernel.run()
+        # Both loops bottleneck on their 400k iteration: 800k total.
+        assert end == pytest.approx(800_000.0, rel=0.01)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def prophet(self):
+        return ParallelProphet(machine=M, overheads=ZERO_OH)
+
+    def test_real_replay_gains_from_nowait(self, prophet):
+        with_nowait = prophet.profile(complementary_program(True))
+        without = prophet.profile(complementary_program(False))
+        sched = "static,1"
+        r_nowait = prophet.measure_real(with_nowait, [4], schedule=sched)
+        r_barrier = prophet.measure_real(without, [4], schedule=sched)
+        assert r_nowait.speedup(n_threads=4) == pytest.approx(4.0, rel=0.02)
+        assert r_barrier.speedup(n_threads=4) == pytest.approx(2.5, rel=0.05)
+
+    def test_ff_predicts_the_gain(self, prophet):
+        profile = prophet.profile(complementary_program(True))
+        ff = FastForwardEmulator(ZERO_OH)
+        time, results = ff.emulate_profile(
+            profile.tree, 4, Schedule.static_chunk(1)
+        )
+        assert profile.serial_cycles() / time == pytest.approx(4.0, rel=0.02)
+        assert results[0].name == "A+B"
+
+    def test_syn_predicts_the_gain(self, prophet):
+        profile = prophet.profile(complementary_program(True))
+        report = prophet.predict(
+            profile, [4], schedules=["static,1"], methods=("syn",),
+            memory_model=False,
+        )
+        assert report.speedup(method="syn", n_threads=4) == pytest.approx(
+            4.0, rel=0.02
+        )
+
+    def test_ff_and_replay_agree_on_chain(self, prophet):
+        def program(tr):
+            with tr.section("x", barrier=False):
+                for i in range(8):
+                    with tr.task():
+                        tr.compute(10_000 + i * 7_000)
+            with tr.section("y", barrier=False):
+                for i in range(8):
+                    with tr.task():
+                        tr.compute(80_000 - i * 7_000)
+            with tr.section("z"):
+                for i in range(8):
+                    with tr.task():
+                        tr.compute(30_000)
+
+        profile = prophet.profile(program)
+        ff = FastForwardEmulator(ZERO_OH)
+        ff_time, _ = ff.emulate_profile(profile.tree, 4, Schedule.static_chunk(1))
+        ex = ParallelExecutor(M, schedule=Schedule.static_chunk(1), overheads=ZERO_OH)
+        real = ex.execute_profile(profile.tree, 4, ReplayMode.REAL)
+        assert ff_time == pytest.approx(real.total_cycles, rel=0.03)
+
+    def test_dynamic_chain_replay_works(self, prophet):
+        """The synthesizer/replay handles dynamic-schedule chains exactly;
+        the FF falls back to barrier semantics (documented)."""
+        profile = prophet.profile(complementary_program(True))
+        ex = ParallelExecutor(M, schedule=Schedule.dynamic(1), overheads=ZERO_OH)
+        real = ex.execute_profile(profile.tree, 4, ReplayMode.REAL)
+        assert real.speedup > 3.0
+        ff = FastForwardEmulator(ZERO_OH)
+        ff_time, _ = ff.emulate_profile(profile.tree, 4, Schedule.dynamic(1))
+        # FF fallback: not worse than barrier semantics would be.
+        assert profile.serial_cycles() / ff_time <= real.speedup + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for runtime overhead constants and EPCC-style measurement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import RuntimeOverheads, measure_overheads
+from repro.runtime.overhead import DEFAULT_OVERHEADS
+from repro.simhw import MachineConfig
+
+
+class TestRuntimeOverheads:
+    def test_defaults_positive(self):
+        oh = RuntimeOverheads()
+        assert oh.omp_fork_base > 0
+        assert oh.omp_dynamic_dispatch > oh.omp_static_dispatch
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeOverheads(omp_fork_base=-1.0)
+
+    def test_scaled(self):
+        oh = RuntimeOverheads().scaled(2.0)
+        assert oh.omp_fork_base == 2 * DEFAULT_OVERHEADS.omp_fork_base
+        assert oh.cilk_steal == 2 * DEFAULT_OVERHEADS.cilk_steal
+
+    def test_scaled_zero(self):
+        oh = RuntimeOverheads().scaled(0.0)
+        assert oh.omp_fork_base == 0.0
+        assert oh.omp_lock_acquire == 0.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeOverheads().scaled(-1.0)
+
+    def test_with_override(self):
+        oh = RuntimeOverheads().with_(omp_fork_base=9999.0)
+        assert oh.omp_fork_base == 9999.0
+        assert oh.omp_join_barrier == DEFAULT_OVERHEADS.omp_join_barrier
+
+
+class TestMeasureOverheads:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return measure_overheads(MachineConfig(n_cores=4), reps=5)
+
+    def test_reports_all_probes(self, measured):
+        assert set(measured) == {
+            "parallel_region",
+            "static_iteration",
+            "dynamic_iteration",
+            "lock_pair",
+        }
+
+    def test_region_cost_reflects_fork_join(self, measured):
+        oh = DEFAULT_OVERHEADS
+        floor = oh.omp_fork_base + oh.omp_fork_per_thread + oh.omp_join_barrier
+        assert measured["parallel_region"] >= floor
+
+    def test_dynamic_iteration_costlier_than_static(self, measured):
+        assert measured["dynamic_iteration"] > measured["static_iteration"]
+
+    def test_lock_pair_cost(self, measured):
+        oh = DEFAULT_OVERHEADS
+        assert measured["lock_pair"] == pytest.approx(
+            oh.omp_lock_acquire + oh.omp_lock_release, rel=0.01
+        )
+
+    def test_overheads_scale_with_constants(self):
+        small = measure_overheads(
+            MachineConfig(n_cores=4), RuntimeOverheads().scaled(0.5), reps=3
+        )
+        big = measure_overheads(
+            MachineConfig(n_cores=4), RuntimeOverheads().scaled(2.0), reps=3
+        )
+        assert big["parallel_region"] > small["parallel_region"]

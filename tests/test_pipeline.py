@@ -1,0 +1,319 @@
+"""Tests for the pipeline-parallelism extension (paper Section VII-E)."""
+
+import pytest
+
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.pipeline import (
+    expand_pipeline_tasks,
+    ff_pipeline_cycles,
+    partition_stages,
+    stage_lengths,
+)
+from repro.core.profiler import IntervalProfiler
+from repro.errors import AnnotationError, ConfigurationError, EmulationError
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.simhw import MachineConfig
+
+M = MachineConfig(n_cores=8)
+ZERO_OH = RuntimeOverheads().scaled(0.0)
+
+
+def pipeline_program(n_iters=16, stage_costs=(10_000, 30_000, 10_000)):
+    def program(tr):
+        with tr.section("pipe", pipeline=True):
+            for _ in range(n_iters):
+                with tr.task():
+                    for cost in stage_costs:
+                        with tr.stage():
+                            tr.compute(cost)
+
+    return program
+
+
+def profile_of(program):
+    return IntervalProfiler(M).profile(program)
+
+
+class TestAnnotations:
+    def test_pipeline_tree_structure(self):
+        from repro.core.tree import NodeKind
+
+        profile = profile_of(pipeline_program(4))
+        sec = profile.tree.top_level_sections()[0]
+        assert sec.pipeline is True
+        task = sec.children[0]
+        assert all(c.kind is NodeKind.STAGE for c in task.children)
+
+    def test_stage_outside_pipeline_rejected(self):
+        def program(tr):
+            with tr.section("plain"):
+                with tr.task():
+                    tr.stage_begin()
+
+        with pytest.raises(AnnotationError):
+            profile_of(program)
+
+    def test_stage_outside_task_rejected(self):
+        def program(tr):
+            with tr.section("pipe", pipeline=True):
+                tr.stage_begin()
+
+        with pytest.raises(AnnotationError):
+            profile_of(program)
+
+    def test_mixed_stage_and_plain_compute_rejected(self):
+        def program(tr):
+            with tr.section("pipe", pipeline=True):
+                with tr.task():
+                    tr.compute(100)  # plain leaf in a pipeline task
+                    with tr.stage():
+                        tr.compute(100)
+
+        with pytest.raises(ConfigurationError):
+            profile_of(program)
+
+    def test_mismatched_stage_counts_rejected(self):
+        def program(tr):
+            with tr.section("pipe", pipeline=True):
+                with tr.task():
+                    with tr.stage():
+                        tr.compute(100)
+                with tr.task():
+                    with tr.stage():
+                        tr.compute(100)
+                    with tr.stage():
+                        tr.compute(100)
+
+        with pytest.raises(ConfigurationError):
+            profile_of(program)
+
+    def test_lock_inside_stage(self):
+        def program(tr):
+            with tr.section("pipe", pipeline=True):
+                for _ in range(2):
+                    with tr.task():
+                        with tr.stage():
+                            tr.compute(100)
+                            with tr.lock(1):
+                                tr.compute(50)
+
+        profile = profile_of(program)
+        assert profile.tree.serial_cycles() == pytest.approx(300.0)
+
+
+class TestPartitioning:
+    def test_balanced_split(self):
+        groups = partition_stages([1.0, 1.0, 1.0, 1.0], 2)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_dominant_stage_isolated(self):
+        groups = partition_stages([1.0, 10.0, 1.0], 3)
+        assert [10.0] == [sum([1.0, 10.0, 1.0][i] for i in g) for g in groups][1:2]
+        assert len(groups) <= 3
+
+    def test_more_threads_than_stages(self):
+        groups = partition_stages([1.0, 2.0], 8)
+        assert groups == [[0], [1]]
+
+    def test_single_thread(self):
+        groups = partition_stages([3.0, 1.0, 2.0], 1)
+        assert groups == [[0, 1, 2]]
+
+    def test_partition_covers_all_stages(self):
+        loads = [2.0, 5.0, 1.0, 4.0, 3.0, 2.0]
+        for t in (1, 2, 3, 4, 6, 9):
+            groups = partition_stages(loads, t)
+            flat = [i for g in groups for i in g]
+            assert flat == list(range(len(loads)))
+
+    def test_optimality_on_known_case(self):
+        # [4,2,2,4] into 2: best max load is 6 ([4,2][2,4]).
+        groups = partition_stages([4.0, 2.0, 2.0, 4.0], 2)
+        loads = [sum([4.0, 2.0, 2.0, 4.0][i] for i in g) for g in groups]
+        assert max(loads) == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert partition_stages([], 4) == []
+
+
+class TestAnalyticalEmulation:
+    def test_single_thread_is_serial(self):
+        profile = profile_of(pipeline_program(8))
+        sec = profile.tree.top_level_sections()[0]
+        cycles = ff_pipeline_cycles(sec, 1, overheads=ZERO_OH)
+        assert cycles == pytest.approx(profile.serial_cycles(), rel=0.01)
+
+    def test_throughput_bounded_by_longest_stage(self):
+        n = 32
+        profile = profile_of(pipeline_program(n, (10_000, 30_000, 10_000)))
+        sec = profile.tree.top_level_sections()[0]
+        cycles = ff_pipeline_cycles(sec, 8, overheads=ZERO_OH)
+        # Steady state: one iteration per 30k cycles (the bottleneck stage).
+        assert cycles >= n * 30_000
+        assert cycles <= n * 30_000 + 50_000 + 1  # fill/drain slack
+
+    def test_speedup_capped_by_stage_count(self):
+        profile = profile_of(pipeline_program(64, (10_000, 10_000, 10_000)))
+        sec = profile.tree.top_level_sections()[0]
+        serial = profile.serial_cycles()
+        cycles = ff_pipeline_cycles(sec, 8, overheads=ZERO_OH)
+        speedup = serial / cycles
+        assert speedup <= 3.0 + 1e-9
+        assert speedup > 2.5  # long stream approaches the stage count
+
+    def test_burden_scales(self):
+        profile = profile_of(pipeline_program(16))
+        sec = profile.tree.top_level_sections()[0]
+        a = ff_pipeline_cycles(sec, 4, burden=1.0, overheads=ZERO_OH)
+        b = ff_pipeline_cycles(sec, 4, burden=2.0, overheads=ZERO_OH)
+        assert b == pytest.approx(2 * a, rel=0.01)
+
+    def test_non_pipeline_rejected(self):
+        from repro.core.tree import Node, NodeKind
+
+        with pytest.raises(EmulationError):
+            expand_pipeline_tasks(Node(NodeKind.SEC))
+
+
+class TestReplayAgreement:
+    def test_ff_matches_replay(self):
+        profile = profile_of(pipeline_program(24, (15_000, 40_000, 20_000)))
+        sec = profile.tree.top_level_sections()[0]
+        ff = ff_pipeline_cycles(sec, 4, overheads=ZERO_OH)
+        ex = ParallelExecutor(M, overheads=ZERO_OH)
+        run = ex.execute_section(sec, 4, ReplayMode.REAL)
+        assert run.gross_cycles == pytest.approx(ff, rel=0.03)
+
+    def test_fake_replay_matches_real_for_pure_compute(self):
+        profile = profile_of(pipeline_program(16))
+        sec = profile.tree.top_level_sections()[0]
+        ex = ParallelExecutor(M, overheads=ZERO_OH)
+        real = ex.execute_section(sec, 4, ReplayMode.REAL)
+        fake = ex.execute_section(sec, 4, ReplayMode.FAKE)
+        assert fake.gross_cycles == pytest.approx(real.gross_cycles, rel=0.02)
+
+    def test_full_profile_prediction(self):
+        from repro import ParallelProphet
+
+        prophet = ParallelProphet(machine=M, overheads=ZERO_OH)
+        profile = prophet.profile(pipeline_program(32, (20_000, 20_000, 20_000)))
+        report = prophet.predict(
+            profile, threads=[1, 4], methods=("ff", "syn"), memory_model=False
+        )
+        real = prophet.measure_real(profile, [4])
+        r = real.speedup(n_threads=4)
+        assert r > 2.5  # pipeline parallelism materialises
+        for method in ("ff", "syn"):
+            p = report.speedup(method=method, n_threads=4)
+            assert p == pytest.approx(r, rel=0.05), method
+
+    def test_imbalanced_pipeline_limited_by_bottleneck(self):
+        from repro import ParallelProphet
+
+        prophet = ParallelProphet(machine=M, overheads=ZERO_OH)
+        profile = prophet.profile(pipeline_program(32, (5_000, 50_000, 5_000)))
+        real = prophet.measure_real(profile, [8])
+        # Serial per iter = 60k; pipelined ~50k/iter -> speedup ~1.2.
+        assert real.speedup(n_threads=8) == pytest.approx(1.2, rel=0.05)
+
+    def test_stage_lock_serializes_across_iterations(self):
+        def program(tr):
+            with tr.section("pipe", pipeline=True):
+                for _ in range(8):
+                    with tr.task():
+                        with tr.stage():
+                            tr.compute(1_000)
+                        with tr.stage():
+                            with tr.lock(1):
+                                tr.compute(10_000)
+
+        profile = profile_of(program)
+        ex = ParallelExecutor(M, overheads=ZERO_OH)
+        sec = profile.tree.top_level_sections()[0]
+        run = ex.execute_section(sec, 8, ReplayMode.REAL)
+        # The locked stage serialises: at least 8 x 10k.
+        assert run.gross_cycles >= 8 * 10_000
+
+
+class TestStageLengths:
+    def test_matrix_shape(self):
+        profile = profile_of(pipeline_program(5, (100, 200)))
+        sec = profile.tree.top_level_sections()[0]
+        lengths = stage_lengths(expand_pipeline_tasks(sec))
+        assert lengths.shape == (5, 2)
+        assert lengths[0, 1] == pytest.approx(200.0)
+
+
+class TestPipelineProperties:
+    """Property-based checks of the pipeline recurrence and partitioner."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=100.0, max_value=50_000.0),
+                min_size=2,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=12,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recurrence_respects_laws(self, rows, t):
+        """Pipeline makespan obeys: span law (>= longest iteration chain /
+        nothing parallelizes within an iteration's cluster sequence),
+        work law (>= total/t), and serial bound (<= serial total)."""
+        from repro.core.tree import Node, NodeKind
+
+        root = Node(NodeKind.ROOT)
+        sec = root.add(Node(NodeKind.SEC, name="p"))
+        sec.pipeline = True
+        for costs in rows:
+            task = sec.add(Node(NodeKind.TASK))
+            for c in costs:
+                stage = task.add(Node(NodeKind.STAGE))
+                stage.add(Node(NodeKind.U, length=c))
+        cycles = ff_pipeline_cycles(sec, t, overheads=ZERO_OH)
+        total = sum(sum(r) for r in rows)
+        longest_iteration = max(sum(r) for r in rows)
+        per_stage_totals = [
+            sum(r[s] for r in rows) for s in range(len(rows[0]))
+        ]
+        assert cycles <= total + 1e-6  # never slower than serial
+        assert cycles >= total / t - 1e-6  # work law
+        assert cycles >= longest_iteration - 1e-6  # one iteration's chain
+        # Throughput law: at least the busiest stage's total work.
+        assert cycles >= max(per_stage_totals) / max(1, t) - 1e-6
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=9
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_optimal(self, loads, t):
+        """DP result equals brute-force optimal max-cluster-load over all
+        contiguous partitions into <= t groups."""
+        import itertools
+
+        groups = partition_stages(loads, t)
+        got = max(sum(loads[i] for i in g) for g in groups)
+
+        s = len(loads)
+        best = float("inf")
+        k = min(t, s)
+        for n_groups in range(1, k + 1):
+            for cuts in itertools.combinations(range(1, s), n_groups - 1):
+                bounds = [0, *cuts, s]
+                load = max(
+                    sum(loads[bounds[i] : bounds[i + 1]])
+                    for i in range(n_groups)
+                )
+                best = min(best, load)
+        assert got == pytest.approx(best, rel=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the interval profiler and ProgramProfile."""
+
+import pytest
+
+from repro.core.profiler import IntervalProfiler
+from repro.simhw import MachineConfig
+from repro.simhw.memtrace import AccessPattern, MemSpec
+
+M = MachineConfig(n_cores=4)
+
+
+def simple_program(tr):
+    tr.compute(500)
+    with tr.section("loop"):
+        for i in range(4):
+            with tr.task():
+                tr.compute(1000 * (i + 1))
+    tr.compute(250)
+
+
+def memory_program(tr):
+    spec = MemSpec(AccessPattern.STREAMING, bytes_touched=64 * 50_000)
+    with tr.section("hot"):
+        for _ in range(4):
+            with tr.task():
+                tr.compute(10_000, mem=spec)
+
+
+class TestProfile:
+    def test_tree_and_serial_cycles(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        assert profile.serial_cycles() == pytest.approx(500 + 10_000 + 250)
+
+    def test_sections_collected(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        assert set(profile.sections) == {"loop"}
+        assert profile.sections["loop"].invocations == 1
+
+    def test_section_counter_values(self):
+        profile = IntervalProfiler(M).profile(memory_program)
+        sc = profile.sections["hot"]
+        assert sc.total.llc_misses == pytest.approx(4 * 50_000)
+        assert sc.mpi > 0
+        assert sc.traffic_mbs(M) > 0
+
+    def test_compression_applied(self):
+        profile = IntervalProfiler(M, compress=True).profile(memory_program)
+        assert profile.compression is not None
+        # Four identical tasks collapse.
+        assert profile.tree.unique_nodes() <= 4
+
+    def test_compression_disabled(self):
+        profile = IntervalProfiler(M, compress=False).profile(memory_program)
+        assert profile.compression is None
+        assert profile.tree.unique_nodes() == 2 + 4 * 2
+
+    def test_profiling_stats_slowdown(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        stats = profile.stats
+        assert stats.slowdown >= 1.0
+        assert stats.annotation_events == 2 + 4 * 2
+        assert stats.gross_tracer_cycles > stats.net_program_cycles
+
+    def test_repeated_section_invocations(self):
+        def program(tr):
+            for _ in range(5):
+                with tr.section("rep"):
+                    with tr.task():
+                        tr.compute(100)
+
+        profile = IntervalProfiler(M).profile(program)
+        assert profile.sections["rep"].invocations == 5
+
+
+class TestBurdenLookup:
+    def test_default_burden_is_one(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        assert profile.burden_for("loop", 8) == 1.0
+
+    def test_exact_lookup(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        profile.burdens["loop"] = {2: 1.1, 4: 1.3}
+        assert profile.burden_for("loop", 4) == pytest.approx(1.3)
+
+    def test_interpolation(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        profile.burdens["loop"] = {2: 1.0, 6: 2.0}
+        assert profile.burden_for("loop", 4) == pytest.approx(1.5)
+
+    def test_clamping_at_edges(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        profile.burdens["loop"] = {4: 1.5, 8: 2.0}
+        assert profile.burden_for("loop", 2) == pytest.approx(1.5)
+        assert profile.burden_for("loop", 16) == pytest.approx(2.0)
+
+    def test_unknown_section(self):
+        profile = IntervalProfiler(M).profile(simple_program)
+        assert profile.burden_for("nope", 4) == 1.0

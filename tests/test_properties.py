@@ -1,0 +1,375 @@
+"""Property-based tests (hypothesis) for the core invariants listed in
+DESIGN.md: tree/compression conservation, kernel work conservation and
+fairness, DRAM-model monotonicity, schedule partitioning, and emulator
+bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compress import compress_tree
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.profiler import IntervalProfiler
+from repro.core.tree import Node, NodeKind, ProgramTree
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.simhw import DramModel, MachineConfig, SegmentDemand
+from repro.simos import Compute, Join, SimKernel, Spawn
+
+M = MachineConfig(n_cores=4)
+M12 = MachineConfig(n_cores=12)
+ZERO_OH = RuntimeOverheads().scaled(0.0)
+
+# ----------------------------------------------------------- strategies
+
+lengths = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def loop_trees(draw):
+    """A ROOT -> SEC -> TASK* -> (U|L)* tree with random lengths/locks."""
+    root = Node(NodeKind.ROOT)
+    sec = root.add(Node(NodeKind.SEC, name="s"))
+    n_tasks = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_tasks):
+        task = sec.add(Node(NodeKind.TASK))
+        n_leaves = draw(st.integers(min_value=1, max_value=4))
+        for _ in range(n_leaves):
+            if draw(st.booleans()):
+                task.add(Node(NodeKind.U, length=draw(lengths)))
+            else:
+                task.add(
+                    Node(
+                        NodeKind.L,
+                        length=draw(lengths),
+                        lock_id=draw(st.integers(1, 3)),
+                    )
+                )
+    return ProgramTree(root)
+
+
+@st.composite
+def segment_sets(draw):
+    """Physically consistent segments: demand is proportional to the memory
+    fraction, capped at the per-core maximum line_size·freq/ω₀ (a segment
+    cannot generate traffic without spending stall time on it)."""
+    d_max = M12.line_size * M12.freq_hz / M12.base_miss_stall
+    n = draw(st.integers(min_value=1, max_value=16))
+    segs = []
+    for _ in range(n):
+        f = draw(st.floats(min_value=0.0, max_value=1.0))
+        segs.append(SegmentDemand(mem_fraction=f, demand_bytes_per_sec=f * d_max))
+    return segs
+
+
+# ----------------------------------------------------------- tree properties
+
+
+class TestTreeProperties:
+    @given(loop_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_compression_preserves_total_length(self, tree):
+        before = tree.serial_cycles()
+        compress_tree(tree, tolerance=0.05)
+        assert tree.serial_cycles() == pytest.approx(before, rel=1e-9)
+
+    @given(loop_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_compression_never_grows(self, tree):
+        before = tree.unique_nodes()
+        stats = compress_tree(tree, tolerance=0.05)
+        assert stats.nodes_after <= before
+        assert 0.0 <= stats.reduction <= 1.0
+
+    @given(loop_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_compressed_tree_validates(self, tree):
+        compress_tree(tree, tolerance=0.05)
+        tree.root.validate()
+
+    @given(loop_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_logical_nodes_invariant_under_compression(self, tree):
+        logical_before = tree.logical_nodes()
+        compress_tree(tree, tolerance=0.0)
+        assert tree.logical_nodes() == logical_before
+
+
+# ----------------------------------------------------------- DRAM properties
+
+
+class TestDramProperties:
+    @given(segment_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_slowdowns_at_least_one(self, segs):
+        model = DramModel(M12)
+        assert all(s >= 1.0 - 1e-12 for s in model.slowdowns(segs))
+
+    @given(segment_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_achieved_bandwidth_capped(self, segs):
+        model = DramModel(M12)
+        achieved = model.aggregate_achieved_bandwidth(segs)
+        assert achieved <= M12.dram_peak_bytes_per_sec * (1 + 1e-6)
+
+    @given(segment_sets(), st.floats(min_value=0.1, max_value=1e10))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_demand_never_speeds_others(self, segs, extra_demand):
+        model = DramModel(M12)
+        before = model.stall_multiplier(segs)
+        extra = SegmentDemand(mem_fraction=0.5, demand_bytes_per_sec=extra_demand)
+        after = model.stall_multiplier(segs + [extra])
+        assert after >= before - 1e-9
+
+
+# ----------------------------------------------------------- kernel properties
+
+
+class TestKernelProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=100.0, max_value=200_000.0), min_size=1, max_size=10
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_work_conservation(self, costs, n_cores):
+        """Total instructions retired equals total demanded regardless of
+        core count, preemption, or interleaving."""
+        machine = MachineConfig(n_cores=n_cores, timeslice_cycles=5_000.0)
+        kernel = SimKernel(machine)
+
+        def worker(c):
+            yield Compute(cycles=c, instructions=c)
+
+        def main():
+            ts = []
+            for c in costs:
+                ts.append((yield Spawn(worker(c))))
+            for t in ts:
+                yield Join(t)
+
+        kernel.spawn(main())
+        end = kernel.run()
+        assert kernel.counters.instructions == pytest.approx(sum(costs), rel=1e-9)
+        # Makespan bounds: max task <= end, and <= serial sum (+slack).
+        assert end >= max(costs) - 1e-6
+        assert end <= sum(costs) + 1e-6
+
+    @given(
+        st.lists(
+            st.floats(min_value=1000.0, max_value=100_000.0), min_size=2, max_size=8
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_work_and_span_bounds(self, costs):
+        """Greedy scheduling: span <= makespan <= work/P + span."""
+        p = 3
+        machine = MachineConfig(n_cores=p, timeslice_cycles=2_000.0)
+        kernel = SimKernel(machine)
+
+        def worker(c):
+            yield Compute(cycles=c)
+
+        def main():
+            ts = []
+            for c in costs:
+                ts.append((yield Spawn(worker(c))))
+            for t in ts:
+                yield Join(t)
+
+        kernel.spawn(main())
+        end = kernel.run()
+        work, span = sum(costs), max(costs)
+        assert end >= span - 1e-6
+        assert end <= work / p + span + 1e-6
+
+
+# --------------------------------------------------------- schedule properties
+
+
+class TestScheduleProperties:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_static_assignment_partitions(self, n_iters, n_threads, chunk):
+        for sched in (Schedule.static(), Schedule.static_chunk(chunk)):
+            owned = sched.static_assignment(n_iters, n_threads)
+            assert len(owned) == n_threads
+            flat = sorted(i for block in owned for i in block)
+            assert flat == list(range(n_iters))
+
+    @given(
+        st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=9)
+    )
+    def test_chunks_partition(self, n_iters, chunk):
+        chunks = Schedule.dynamic(chunk).chunks(n_iters)
+        flat = [i for c in chunks for i in c]
+        assert flat == list(range(n_iters))
+        assert all(len(c) <= chunk for c in chunks)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=8))
+    def test_static_balance(self, n_iters, n_threads):
+        owned = Schedule.static().static_assignment(n_iters, n_threads)
+        sizes = [len(b) for b in owned]
+        assert max(sizes) - min(sizes) <= 1
+
+
+# --------------------------------------------------------- emulator properties
+
+
+class TestEmulatorProperties:
+    @given(loop_trees(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_ff_speedup_bounded(self, tree, n_threads):
+        ff = FastForwardEmulator(ZERO_OH)
+        time, _ = ff.emulate_profile(tree, n_threads, Schedule.static_chunk(1))
+        speedup = tree.serial_cycles() / time
+        assert 0 < speedup <= n_threads + 1e-9
+
+    @given(loop_trees())
+    @settings(max_examples=20, deadline=None)
+    def test_ff_single_thread_exact(self, tree):
+        ff = FastForwardEmulator(ZERO_OH)
+        time, _ = ff.emulate_profile(tree, 1, Schedule.static())
+        assert time == pytest.approx(tree.serial_cycles(), rel=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1000.0, max_value=50_000.0), min_size=1, max_size=10
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ff_matches_real_replay_on_flat_loops(self, costs, n_threads):
+        """For single-level loops without locks the FF and the simulated
+        runtime agree (zero overheads, static,1)."""
+
+        def program(tr):
+            with tr.section("loop"):
+                for c in costs:
+                    with tr.task():
+                        tr.compute(c)
+
+        profile = IntervalProfiler(M12).profile(program)
+        ff = FastForwardEmulator(ZERO_OH)
+        ff_time, _ = ff.emulate_profile(
+            profile.tree, n_threads, Schedule.static_chunk(1)
+        )
+        from repro.core.executor import ParallelExecutor, ReplayMode
+
+        ex = ParallelExecutor(
+            M12, schedule=Schedule.static_chunk(1), overheads=ZERO_OH
+        )
+        real = ex.execute_profile(profile.tree, n_threads, ReplayMode.REAL)
+        assert ff_time == pytest.approx(real.total_cycles, rel=0.02)
+
+
+# ------------------------------------------------------- profiling properties
+
+
+class TestProfilerProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=10.0, max_value=1e5), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_net_lengths_exact_with_perfect_subtraction(self, costs):
+        def program(tr):
+            with tr.section("loop"):
+                for c in costs:
+                    with tr.task():
+                        tr.compute(c)
+
+        profile = IntervalProfiler(M, compress=False).profile(program)
+        assert profile.serial_cycles() == pytest.approx(sum(costs), rel=1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=10.0, max_value=1e5), min_size=1, max_size=10),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_residual_overhead_bounded(self, costs, accuracy):
+        def program(tr):
+            with tr.section("loop"):
+                for c in costs:
+                    with tr.task():
+                        tr.compute(c)
+
+        profile = IntervalProfiler(
+            M, compress=False, overhead_subtraction_accuracy=accuracy
+        ).profile(program)
+        events = 2 + 2 * len(costs)
+        max_residual = events * M.tracer_overhead_cycles
+        net = profile.serial_cycles()
+        assert sum(costs) - 1e-6 <= net <= sum(costs) + max_residual + 1e-6
+
+
+# --------------------------------------------------------- serialization
+
+
+class TestSerializationProperties:
+    @given(loop_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_tree_roundtrip_preserves_everything(self, tree):
+        from repro.core.serialize import tree_from_dict, tree_to_dict
+
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.serial_cycles() == pytest.approx(tree.serial_cycles())
+        assert restored.logical_nodes() == tree.logical_nodes()
+        assert restored.unique_nodes() == tree.unique_nodes()
+        restored.root.validate()
+
+    @given(loop_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_after_compression_preserves_sharing(self, tree):
+        from repro.core.compress import compress_tree
+        from repro.core.serialize import tree_from_dict, tree_to_dict
+
+        compress_tree(tree, tolerance=0.05)
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.unique_nodes() == tree.unique_nodes()
+        assert restored.serial_cycles() == pytest.approx(tree.serial_cycles())
+
+    @given(loop_trees(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_emulates_identically(self, tree, n_threads):
+        from repro.core.serialize import tree_from_dict, tree_to_dict
+
+        ff = FastForwardEmulator(ZERO_OH)
+        a, _ = ff.emulate_profile(tree, n_threads, Schedule.static_chunk(1))
+        restored = tree_from_dict(tree_to_dict(tree))
+        b, _ = ff.emulate_profile(restored, n_threads, Schedule.static_chunk(1))
+        assert a == pytest.approx(b, rel=1e-12)
+
+
+# ----------------------------------------------------- stride intersection
+
+
+class TestStrideClosureProperties:
+    @given(
+        st.integers(0, 500),
+        st.integers(1, 16),
+        st.integers(1, 40),
+        st.integers(-3, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shifting_by_stride_keeps_intersection(self, start, stride, count, k):
+        """A range always intersects its own shift by k strides when the
+        shifted window still overlaps."""
+        from repro.depend import StrideRange, ranges_intersect
+
+        a = StrideRange(start, stride, count)
+        b = StrideRange(start + k * stride, stride, count)
+        overlap_expected = abs(k) < count
+        assert ranges_intersect(a, b) == overlap_expected

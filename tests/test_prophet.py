@@ -1,0 +1,107 @@
+"""Tests for the top-level ParallelProphet facade."""
+
+import pytest
+
+from repro import ParallelProphet
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig
+from repro.simhw.memtrace import AccessPattern, MemSpec
+
+M = MachineConfig(n_cores=4)
+M12 = MachineConfig(n_cores=12)
+
+
+def balanced_program(tr):
+    with tr.section("loop"):
+        for _ in range(8):
+            with tr.task():
+                tr.compute(50_000)
+
+
+def memory_program(tr):
+    spec = MemSpec(AccessPattern.STREAMING, bytes_touched=18_000_000)
+    with tr.section("hot"):
+        for _ in range(12):
+            with tr.task():
+                tr.compute(10_000_000, mem=spec)
+
+
+@pytest.fixture(scope="module")
+def prophet12():
+    p = ParallelProphet(machine=M12)
+    p.calibration([2, 4, 8, 12])
+    return p
+
+
+class TestWorkflow:
+    def test_profile_predict_roundtrip(self):
+        prophet = ParallelProphet(machine=M)
+        profile = prophet.profile(balanced_program)
+        report = prophet.predict(
+            profile, threads=[2, 4], methods=("syn", "ff"), memory_model=False
+        )
+        assert len(report) == 4
+        assert report.speedup(method="syn", n_threads=4) == pytest.approx(
+            4.0, rel=0.1
+        )
+        assert report.speedup(method="ff", n_threads=4) == pytest.approx(
+            4.0, rel=0.1
+        )
+
+    def test_multiple_schedules(self):
+        prophet = ParallelProphet(machine=M)
+        profile = prophet.profile(balanced_program)
+        report = prophet.predict(
+            profile,
+            threads=[2],
+            schedules=["static", "static,1", "dynamic,1"],
+            memory_model=False,
+        )
+        assert {e.schedule for e in report} == {"static", "static,1", "dynamic,1"}
+
+    def test_unknown_method_rejected(self):
+        prophet = ParallelProphet(machine=M)
+        profile = prophet.profile(balanced_program)
+        with pytest.raises(ConfigurationError):
+            prophet.predict(profile, threads=[2], methods=("magic",))
+
+    def test_measure_real(self):
+        prophet = ParallelProphet(machine=M)
+        profile = prophet.profile(balanced_program)
+        report = prophet.measure_real(profile, threads=[2, 4])
+        # Default runtime overheads (fork/join/dispatch) cost ~9% here.
+        assert report.speedup(n_threads=4) == pytest.approx(4.0, rel=0.12)
+        assert all(e.method == "real" for e in report)
+
+    def test_memory_model_attached_automatically(self, prophet12):
+        profile = prophet12.profile(memory_program)
+        prophet12.predict(profile, threads=[2, 12], memory_model=True)
+        assert profile.burdens["hot"][12] > 1.0
+
+    def test_memory_model_brackets_real(self, prophet12):
+        """PredM must track the saturating Real curve where Pred overshoots
+        (the Fig. 2 phenomenon)."""
+        profile = prophet12.profile(memory_program)
+        real = prophet12.measure_real(profile, threads=[12])
+        pred_m = prophet12.predict(profile, threads=[12], memory_model=True)
+        pred = prophet12.predict(profile, threads=[12], memory_model=False)
+        r = real.speedup(n_threads=12)
+        pm = pred_m.speedup(method="syn", n_threads=12)
+        pn = pred.speedup(method="syn", n_threads=12)
+        assert pn > 2 * r  # memory-blind prediction overshoots badly
+        assert abs(pm - r) / r < 0.35  # the paper's ~30% bound
+
+    def test_calibration_cached(self, prophet12):
+        a = prophet12.calibration([2, 4])
+        b = prophet12.calibration([2, 4])
+        assert a is b
+
+    def test_calibration_extends_for_new_counts(self):
+        prophet = ParallelProphet(machine=M)
+        a = prophet.calibration([2])
+        # The default spread {2, 4=n_cores, ...} is already covered: cached.
+        assert prophet.calibration([2, 4]) is a
+        # A count outside the spread forces a recalibration.
+        b = prophet.calibration([3])
+        assert 3 in b.psi and 2 in b.psi
+        assert a is not b

@@ -1,0 +1,96 @@
+"""Tests for report dataclasses and formatting."""
+
+import pytest
+
+from repro.core.report import SpeedupEstimate, SpeedupReport, error_ratio
+
+
+def est(method="syn", schedule="static", t=4, speedup=2.0, mem=False):
+    return SpeedupEstimate(
+        method=method,
+        paradigm="omp",
+        schedule=schedule,
+        n_threads=t,
+        speedup=speedup,
+        with_memory_model=mem,
+    )
+
+
+class TestReport:
+    def test_add_and_len(self):
+        report = SpeedupReport()
+        report.add(est())
+        assert len(report) == 1
+
+    def test_get_filters(self):
+        report = SpeedupReport([est(t=2), est(t=4), est(method="ff", t=4)])
+        assert len(report.get(n_threads=4)) == 2
+        assert len(report.get(method="ff")) == 1
+        assert len(report.get(method="syn", n_threads=2)) == 1
+
+    def test_get_by_memory_model(self):
+        report = SpeedupReport([est(mem=True), est(mem=False)])
+        assert len(report.get(with_memory_model=True)) == 1
+
+    def test_one_requires_unique(self):
+        report = SpeedupReport([est(t=2), est(t=2)])
+        with pytest.raises(KeyError):
+            report.one(n_threads=2)
+
+    def test_speedup_lookup(self):
+        report = SpeedupReport([est(t=8, speedup=6.5)])
+        assert report.speedup(n_threads=8) == 6.5
+
+    def test_thread_counts_sorted(self):
+        report = SpeedupReport([est(t=8), est(t=2), est(t=4)])
+        assert report.thread_counts() == [2, 4, 8]
+
+    def test_to_table_contains_rows(self):
+        report = SpeedupReport(
+            [est(t=2, speedup=1.9), est(t=4, speedup=3.7), est(method="ff", t=2)]
+        )
+        table = report.to_table()
+        assert "2-core" in table and "4-core" in table
+        assert "syn" in table and "ff" in table
+        assert "3.70" in table
+
+    def test_to_table_marks_memory_model(self):
+        report = SpeedupReport([est(mem=True)])
+        assert "syn+mem" in report.to_table()
+
+    def test_extend_and_iter(self):
+        report = SpeedupReport()
+        report.extend([est(), est(t=8)])
+        assert len(list(report)) == 2
+
+
+class TestErrorRatio:
+    def test_exact(self):
+        assert error_ratio(2.0, 2.0) == 0.0
+
+    def test_overestimate(self):
+        assert error_ratio(3.0, 2.0) == pytest.approx(0.5)
+
+    def test_underestimate(self):
+        assert error_ratio(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_zero_real(self):
+        assert error_ratio(0.0, 0.0) == 0.0
+        assert error_ratio(1.0, 0.0) == float("inf")
+
+
+class TestMarkdown:
+    def test_to_markdown_layout(self):
+        report = SpeedupReport(
+            [est(t=2, speedup=1.9), est(t=4, speedup=3.7), est(method="ff", t=2)]
+        )
+        md = report.to_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("| method |")
+        assert "| 2-core | 4-core |" in lines[0]
+        assert any("| syn |" in line and "3.70" in line for line in lines)
+        assert any("| ff |" in line and " - " in line for line in lines)
+
+    def test_markdown_memory_flag(self):
+        md = SpeedupReport([est(mem=True)]).to_markdown()
+        assert "syn+mem" in md

@@ -1,0 +1,107 @@
+"""Tests for the CPU scheduler bookkeeping."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simos import CpuScheduler, SimThread, ThreadState
+
+
+def make_thread(tid=1, affinity=None):
+    def gen():
+        yield None
+
+    return SimThread(tid, gen(), name=f"t{tid}", affinity=affinity)
+
+
+class TestReadyQueue:
+    def test_fifo_order(self):
+        sched = CpuScheduler(2)
+        a, b = make_thread(1), make_thread(2)
+        sched.make_ready(a)
+        sched.make_ready(b)
+        assert sched.pick_next(0) is a
+        assert sched.pick_next(0) is b
+
+    def test_front_insertion(self):
+        sched = CpuScheduler(2)
+        a, b = make_thread(1), make_thread(2)
+        sched.make_ready(a)
+        sched.make_ready(b, front=True)
+        assert sched.pick_next(0) is b
+
+    def test_finished_thread_rejected(self):
+        sched = CpuScheduler(1)
+        t = make_thread()
+        t.state = ThreadState.FINISHED
+        with pytest.raises(SimulationError):
+            sched.make_ready(t)
+
+    def test_thread_on_core_rejected(self):
+        sched = CpuScheduler(1)
+        t = make_thread()
+        sched.make_ready(t)
+        got = sched.pick_next(0)
+        sched.assign(got, 0)
+        with pytest.raises(SimulationError):
+            sched.make_ready(t)
+
+
+class TestAffinity:
+    def test_affinity_respected(self):
+        sched = CpuScheduler(2)
+        t = make_thread(affinity=frozenset({1}))
+        sched.make_ready(t)
+        assert sched.pick_next(0) is None
+        assert sched.pick_next(1) is t
+
+    def test_has_waiter_for(self):
+        sched = CpuScheduler(2)
+        t = make_thread(affinity=frozenset({1}))
+        sched.make_ready(t)
+        assert not sched.has_waiter_for(0)
+        assert sched.has_waiter_for(1)
+
+    def test_unpinned_runs_anywhere(self):
+        sched = CpuScheduler(3)
+        sched.make_ready(make_thread())
+        assert sched.has_waiter_for(2)
+
+
+class TestAssignment:
+    def test_assign_unassign(self):
+        sched = CpuScheduler(2)
+        t = make_thread()
+        sched.make_ready(t)
+        got = sched.pick_next(1)
+        sched.assign(got, 1)
+        assert t.core == 1
+        assert t.state is ThreadState.RUNNING
+        assert sched.running_threads() == [t]
+        core = sched.unassign(t)
+        assert core == 1
+        assert t.core is None
+
+    def test_double_assign_rejected(self):
+        sched = CpuScheduler(2)
+        a, b = make_thread(1), make_thread(2)
+        sched.make_ready(a)
+        sched.make_ready(b)
+        sched.assign(sched.pick_next(0), 0)
+        with pytest.raises(SimulationError):
+            sched.assign(sched.pick_next(0), 0)
+
+    def test_unassign_not_running_rejected(self):
+        sched = CpuScheduler(1)
+        with pytest.raises(SimulationError):
+            sched.unassign(make_thread())
+
+    def test_idle_cores(self):
+        sched = CpuScheduler(3)
+        t = make_thread()
+        sched.make_ready(t)
+        sched.assign(sched.pick_next(1), 1)
+        assert sched.idle_cores() == [0, 2]
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ConfigurationError):
+            CpuScheduler(0)

@@ -1,0 +1,102 @@
+"""Tests for the program-synthesis emulator (paper Section IV-E)."""
+
+import pytest
+
+from repro.core.profiler import IntervalProfiler
+from repro.core.synthesizer import Synthesizer
+from repro.runtime import RuntimeOverheads, Schedule
+from repro.simhw import MachineConfig
+
+M = MachineConfig(n_cores=4)
+ZERO_OH = RuntimeOverheads().scaled(0.0)
+
+
+def profile_of(program, machine=M):
+    return IntervalProfiler(machine).profile(program)
+
+
+def balanced_profile(n=8, cost=50_000):
+    def program(tr):
+        with tr.section("loop"):
+            for _ in range(n):
+                with tr.task():
+                    tr.compute(cost)
+
+    return profile_of(program)
+
+
+class TestPrediction:
+    def test_balanced_near_ideal(self):
+        syn = Synthesizer(overheads=ZERO_OH)
+        run = syn.predict(balanced_profile(), 4, use_memory_model=False)
+        assert run.estimate.speedup == pytest.approx(4.0, rel=0.05)
+
+    def test_estimate_metadata(self):
+        syn = Synthesizer(schedule=Schedule.dynamic(1))
+        run = syn.predict(balanced_profile(), 2)
+        est = run.estimate
+        assert est.method == "syn"
+        assert est.schedule == "dynamic,1"
+        assert est.n_threads == 2
+        assert est.with_memory_model is True
+
+    def test_memory_model_applies_burdens(self):
+        profile = balanced_profile()
+        profile.burdens["loop"] = {4: 2.0}
+        syn = Synthesizer(overheads=ZERO_OH)
+        with_mem = syn.predict(profile, 4, use_memory_model=True)
+        without = syn.predict(profile, 4, use_memory_model=False)
+        assert with_mem.estimate.speedup == pytest.approx(
+            without.estimate.speedup / 2.0, rel=0.05
+        )
+
+    def test_per_section_speedups(self):
+        def program(tr):
+            with tr.section("a"):
+                for _ in range(4):
+                    with tr.task():
+                        tr.compute(10_000)
+            with tr.section("b"):
+                with tr.task():
+                    tr.compute(40_000)
+
+        profile = profile_of(program)
+        syn = Synthesizer(overheads=ZERO_OH)
+        run = syn.predict(profile, 4, use_memory_model=False)
+        sections = run.estimate.sections
+        assert sections["a"] == pytest.approx(4.0, rel=0.1)
+        assert sections["b"] == pytest.approx(1.0, rel=0.1)
+
+    def test_repeated_sections_aggregate(self):
+        def program(tr):
+            for _ in range(3):
+                with tr.section("rep"):
+                    for _ in range(4):
+                        with tr.task():
+                            tr.compute(10_000)
+
+        profile = profile_of(program)
+        syn = Synthesizer(overheads=ZERO_OH)
+        run = syn.predict(profile, 4, use_memory_model=False)
+        assert run.estimate.sections["rep"] == pytest.approx(4.0, rel=0.1)
+
+    def test_cilk_paradigm(self):
+        syn = Synthesizer(paradigm="cilk", overheads=ZERO_OH)
+        run = syn.predict(balanced_profile(16, 25_000), 4, use_memory_model=False)
+        assert run.estimate.speedup == pytest.approx(4.0, rel=0.2)
+        assert run.estimate.paradigm == "cilk"
+
+
+class TestCostAccounting:
+    def test_slowdown_per_estimate(self):
+        """Paper Section VII-D: an estimated speedup of S costs at least a
+        (1 + 1/S)x slowdown because the synthesizer runs the fake program."""
+        syn = Synthesizer(overheads=ZERO_OH)
+        run = syn.predict(balanced_profile(), 4, use_memory_model=False)
+        s = run.estimate.speedup
+        assert run.slowdown_per_estimate == pytest.approx(1.0 / s, rel=0.1)
+
+    def test_emulation_cycles_positive(self):
+        syn = Synthesizer()
+        run = syn.predict(balanced_profile(), 2)
+        assert run.emulation_cycles > 0

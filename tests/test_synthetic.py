@@ -1,0 +1,179 @@
+"""Tests for the Test1/Test2 validation generators (paper Figs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import IntervalProfiler
+from repro.core.tree import NodeKind
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig
+from repro.workloads.synthetic import (
+    SHAPES,
+    Test1Params,
+    compute_overhead,
+    random_test1,
+    random_test2,
+)
+from repro.workloads.synthetic import test1_program as make_test1
+from repro.workloads.synthetic import test2_program as make_test2
+
+M = MachineConfig(n_cores=12)
+
+
+def profile_of(program):
+    return IntervalProfiler(M, compress=False).profile(program)
+
+
+class TestComputeOverhead:
+    def test_flat_constant(self):
+        rng = np.random.default_rng(0)
+        values = {
+            compute_overhead(i, 10, 1000.0, 0.5, "flat", rng) for i in range(10)
+        }
+        assert values == {1000.0}
+
+    def test_ramp_is_monotone(self):
+        rng = np.random.default_rng(0)
+        values = [
+            compute_overhead(i, 10, 1000.0, 0.5, "ramp", rng) for i in range(10)
+        ]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(500.0)
+        assert values[-1] == pytest.approx(1500.0)
+
+    def test_random_within_spread(self):
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            v = compute_overhead(i, 50, 1000.0, 0.3, "random", rng)
+            assert 700.0 <= v <= 1300.0
+
+    def test_sawtooth_periodic(self):
+        rng = np.random.default_rng(0)
+        a = compute_overhead(0, 100, 1000.0, 0.5, "sawtooth", rng)
+        b = compute_overhead(8, 100, 1000.0, 0.5, "sawtooth", rng)
+        assert a == pytest.approx(b)
+
+    def test_floor_at_100_cycles(self):
+        rng = np.random.default_rng(0)
+        assert compute_overhead(0, 10, 50.0, 0.0, "flat", rng) == 100.0
+
+
+class TestTest1:
+    def make_params(self, **overrides):
+        defaults = dict(
+            i_max=10,
+            mean_cycles=10_000.0,
+            spread=0.5,
+            shape="ramp",
+            ratio_delay_1=0.3,
+            ratio_delay_lock_1=0.2,
+            ratio_delay_2=0.2,
+            ratio_delay_lock_2=0.0,
+            ratio_delay_3=0.3,
+            do_lock1=True,
+            do_lock2=False,
+            seed=42,
+        )
+        defaults.update(overrides)
+        return Test1Params(**defaults)
+
+    def test_structure(self):
+        profile = profile_of(make_test1(self.make_params()))
+        sec = profile.tree.top_level_sections()[0]
+        assert len(sec.children) == 10
+        task = sec.children[0]
+        kinds = [c.kind for c in task.children]
+        assert kinds == [NodeKind.U, NodeKind.L, NodeKind.U]
+
+    def test_two_locks(self):
+        params = self.make_params(
+            do_lock2=True, ratio_delay_lock_2=0.1
+        )
+        profile = profile_of(make_test1(params))
+        task = profile.tree.top_level_sections()[0].children[0]
+        lock_ids = [c.lock_id for c in task.children if c.kind is NodeKind.L]
+        assert lock_ids == [1, 2]
+
+    def test_no_locks(self):
+        params = self.make_params(
+            do_lock1=False, ratio_delay_lock_1=0.0
+        )
+        profile = profile_of(make_test1(params))
+        task = profile.tree.top_level_sections()[0].children[0]
+        assert all(c.kind is NodeKind.U for c in task.children)
+
+    def test_deterministic_by_seed(self):
+        p = self.make_params(shape="random")
+        a = profile_of(make_test1(p)).serial_cycles()
+        b = profile_of(make_test1(p)).serial_cycles()
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_params(i_max=0)
+        with pytest.raises(ConfigurationError):
+            self.make_params(shape="weird")
+        with pytest.raises(ConfigurationError):
+            self.make_params(
+                ratio_delay_1=0.0,
+                ratio_delay_2=0.0,
+                ratio_delay_3=0.0,
+                ratio_delay_lock_1=0.0,
+                do_lock1=False,
+            )
+
+
+class TestTest2:
+    def test_nested_structure(self):
+        rng = np.random.default_rng(7)
+        params = random_test2(rng)
+        # Force nesting everywhere for the structural check.
+        params = type(params)(
+            **{**params.__dict__, "nested_probability": 1.0}
+        )
+        profile = profile_of(make_test2(params))
+        outer = profile.tree.top_level_sections()[0]
+        assert outer.name == "test2"
+        task = outer.children[0]
+        nested = [c for c in task.children if c.kind is NodeKind.SEC]
+        assert len(nested) == 1
+
+    def test_zero_probability_no_nesting(self):
+        rng = np.random.default_rng(7)
+        params = random_test2(rng)
+        params = type(params)(
+            **{**params.__dict__, "nested_probability": 0.0}
+        )
+        profile = profile_of(make_test2(params))
+        for task in profile.tree.top_level_sections()[0].children:
+            assert all(c.kind is not NodeKind.SEC for c in task.children)
+
+
+class TestRandomSampling:
+    def test_samples_valid_and_varied(self):
+        rng = np.random.default_rng(123)
+        shapes = set()
+        for _ in range(30):
+            params = random_test1(rng)
+            shapes.add(params.shape)
+            profile = profile_of(make_test1(params))
+            assert profile.serial_cycles() > 0
+        assert len(shapes) >= 3
+
+    def test_test2_samples_profile_cleanly(self):
+        rng = np.random.default_rng(321)
+        for _ in range(5):
+            params = random_test2(rng, scale=0.3)
+            profile = profile_of(make_test2(params))
+            assert profile.serial_cycles() > 0
+            profile.tree.root.validate()
+
+    def test_reproducible_streams(self):
+        a = random_test1(np.random.default_rng(5))
+        b = random_test1(np.random.default_rng(5))
+        assert a == b
+
+    def test_all_shapes_reachable(self):
+        rng = np.random.default_rng(0)
+        seen = {random_test1(rng).shape for _ in range(100)}
+        assert seen == set(SHAPES)

@@ -1,0 +1,249 @@
+"""Tests for the OmpSCR/NPB workload suite."""
+
+import pytest
+
+from repro.core.profiler import IntervalProfiler
+from repro.core.tree import NodeKind
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig
+from repro.workloads import PAPER_ORDER, get_workload, workload_names
+from repro.workloads.base import WorkloadSpec, bytes_for_mem_fraction
+
+M = MachineConfig(n_cores=12)
+
+#: Small scales so each workload profiles in well under a second.
+TEST_SCALE = {
+    "ompscr_md": dict(particles=64, steps=1),
+    "ompscr_lu": dict(size=24),
+    "ompscr_fft": dict(n_points=1024),
+    "ompscr_qsort": dict(elements=40_000),
+    "npb_ep": dict(batches=16),
+    "npb_ft": dict(planes=8, timesteps=1),
+    "npb_mg": dict(fine_planes=8, cycles_count=1),
+    "npb_cg": dict(outer_steps=1, inner_iterations=2, row_blocks=8),
+}
+
+
+def small(name) -> WorkloadSpec:
+    return get_workload(name, **TEST_SCALE[name])
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert len(workload_names()) == 8
+        assert set(workload_names()) == set(PAPER_ORDER)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("npb_dt")
+
+    def test_kwargs_passed_through(self):
+        wl = get_workload("npb_ep", batches=4)
+        profile = IntervalProfiler(M).profile(wl.program)
+        sec = profile.tree.top_level_sections()[0]
+        assert len(sec.children) <= 4  # compression may merge them
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+class TestEveryWorkload:
+    def test_profiles_cleanly(self, name):
+        wl = small(name)
+        profile = IntervalProfiler(M).profile(wl.program)
+        assert profile.serial_cycles() > 0
+        profile.tree.root.validate()
+
+    def test_has_parallel_sections(self, name):
+        wl = small(name)
+        profile = IntervalProfiler(M).profile(wl.program)
+        assert len(profile.tree.top_level_sections()) >= 1
+        assert len(profile.sections) >= 1
+
+    def test_paradigm_valid(self, name):
+        wl = small(name)
+        assert wl.paradigm in ("omp", "cilk")
+
+    def test_metadata(self, name):
+        wl = small(name)
+        assert wl.name == name
+        assert wl.description
+        assert wl.input_label
+
+
+class TestWorkloadCharacter:
+    def test_lu_is_imbalanced(self):
+        wl = small("ompscr_lu")
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        sections = profile.tree.top_level_sections()
+        # One section per outer k, shrinking trip counts (the diagonal).
+        assert len(sections) == 23
+        sizes = [len(s.children) for s in sections]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_fft_has_nested_sections(self):
+        wl = small("ompscr_fft")
+        profile = IntervalProfiler(M).profile(wl.program)
+
+        def depth(node, d=0):
+            here = d + (1 if node.kind is NodeKind.SEC else 0)
+            return max([here] + [depth(c, here) for c in node.children])
+
+        assert depth(profile.tree.root) >= 3  # recursion nests sections
+
+    def test_qsort_imbalance_is_seeded(self):
+        a = IntervalProfiler(M).profile(small("ompscr_qsort").program)
+        b = IntervalProfiler(M).profile(small("ompscr_qsort").program)
+        assert a.serial_cycles() == pytest.approx(b.serial_cycles())
+
+    def test_ft_is_memory_heavy(self):
+        wl = small("npb_ft")
+        profile = IntervalProfiler(M).profile(wl.program)
+        for sc in profile.sections.values():
+            assert sc.traffic_mbs(M) > 2000.0
+
+    def test_ep_is_memory_light(self):
+        wl = small("npb_ep")
+        profile = IntervalProfiler(M).profile(wl.program)
+        sc = profile.sections["ep_batches"]
+        assert sc.mpi < 0.001
+
+    def test_ep_has_lock_nodes(self):
+        wl = small("npb_ep")
+        profile = IntervalProfiler(M).profile(wl.program)
+        has_lock = any(
+            n.kind is NodeKind.L for n in profile.tree.root.walk()
+        )
+        assert has_lock
+
+    def test_cg_tree_compresses_like_paper(self):
+        """Section VI-B: CG's repetitive iteration structure compresses by
+        >90 % (the paper reports 93 %)."""
+        wl = get_workload("npb_cg", outer_steps=2, inner_iterations=3, row_blocks=32)
+        profile = IntervalProfiler(M, compress=True).profile(wl.program)
+        assert profile.compression is not None
+        assert profile.compression.reduction > 0.9
+
+    def test_mg_levels_shrink(self):
+        wl = small("npb_mg")
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        names = [s.name for s in profile.tree.top_level_sections()]
+        assert any("l0" in n for n in names)
+        assert any("l4" in n for n in names)
+
+
+class TestHelpers:
+    def test_bytes_for_mem_fraction_roundtrip(self):
+        cpu = 1_000_000.0
+        target = 0.45
+        nbytes = bytes_for_mem_fraction(cpu, target, M)
+        misses = nbytes / M.line_size
+        base = cpu + misses * M.base_miss_stall
+        assert misses * M.base_miss_stall / base == pytest.approx(target)
+
+    def test_zero_fraction(self):
+        assert bytes_for_mem_fraction(1000, 0.0, M) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            bytes_for_mem_fraction(1000, 1.0, M)
+
+    def test_spec_paradigm_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="x",
+                program=lambda tr: None,
+                paradigm="mpi",
+                description="",
+                input_label="",
+                footprint_mb=1.0,
+            )
+
+
+class TestNpbIs:
+    """The Section VI-B compression pathology workload (extra, not in the
+    paper's Fig. 12 evaluation)."""
+
+    def test_registered_as_extra(self):
+        assert "npb_is" not in workload_names()
+        assert "npb_is" in workload_names(include_extras=True)
+
+    def test_profiles_cleanly(self):
+        wl = get_workload("npb_is", iterations=1, buckets=32)
+        profile = IntervalProfiler(M).profile(wl.program)
+        assert profile.serial_cycles() > 0
+        profile.tree.root.validate()
+
+    def test_resists_lossless_compression(self):
+        wl = get_workload("npb_is", iterations=2, buckets=128)
+        profile = IntervalProfiler(M, compress=True).profile(wl.program)
+        assert profile.compression.reduction < 0.30
+
+    def test_lossy_rescues_it(self):
+        from repro.core.compress import compress_tree_lossy
+
+        wl = get_workload("npb_is", iterations=2, buckets=128)
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        stats = compress_tree_lossy(profile.tree, lossy_tolerance=0.20)
+        assert stats.reduction > 0.60
+
+    def test_deterministic(self):
+        a = IntervalProfiler(M).profile(get_workload("npb_is").program)
+        b = IntervalProfiler(M).profile(get_workload("npb_is").program)
+        assert a.serial_cycles() == pytest.approx(b.serial_cycles())
+
+
+class TestNpbStructure:
+    """The NPB workloads mirror the real kernels' phase structure."""
+
+    def test_mg_vcycle_operators(self):
+        wl = get_workload("npb_mg", fine_planes=8, cycles_count=1)
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        names = [s.name for s in profile.tree.top_level_sections()]
+        # V-cycle: resid at the top, rprj3 down, interp/psinv up.
+        assert names[0] == "mg_resid_l0"
+        assert "mg_rprj3_l1" in names
+        assert "mg_interp_l0" in names and "mg_psinv_l0" in names
+        # Downward leg precedes upward leg.
+        assert names.index("mg_rprj3_l4") < names.index("mg_interp_l3")
+
+    def test_mg_fine_levels_carry_the_work(self):
+        """Traffic *rate* is intensity-bound and similar across levels; what
+        makes coarse levels overhead-bound is their tiny total work."""
+        wl = get_workload("npb_mg", fine_planes=8, cycles_count=1)
+        profile = IntervalProfiler(M).profile(wl.program)
+        fine = profile.sections["mg_resid_l0"].total
+        coarse = profile.sections["mg_rprj3_l4"].total
+        assert fine.llc_misses > 100 * coarse.llc_misses
+        assert fine.cycles > 100 * coarse.cycles
+
+    def test_cg_iteration_phases(self):
+        wl = get_workload(
+            "npb_cg", outer_steps=1, inner_iterations=1, row_blocks=8
+        )
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        names = [s.name for s in profile.tree.top_level_sections()]
+        # One CG iteration: matvec, dot, axpy, dot, axpy.
+        assert names == ["cg_matvec", "cg_dot", "cg_axpy", "cg_dot", "cg_axpy"]
+
+    def test_cg_matvec_dominates(self):
+        wl = get_workload(
+            "npb_cg", outer_steps=1, inner_iterations=2, row_blocks=8
+        )
+        profile = IntervalProfiler(M).profile(wl.program)
+        matvec = sum(
+            s.subtree_length()
+            for s in profile.tree.top_level_sections()
+            if s.name == "cg_matvec"
+        )
+        assert matvec > 0.5 * profile.tree.serial_cycles()
+
+    def test_cg_dot_has_reduction_lock(self):
+        wl = get_workload(
+            "npb_cg", outer_steps=1, inner_iterations=1, row_blocks=4
+        )
+        profile = IntervalProfiler(M, compress=False).profile(wl.program)
+        dot = next(
+            s for s in profile.tree.top_level_sections() if s.name == "cg_dot"
+        )
+        assert any(
+            c.kind is NodeKind.L for t in dot.children for c in t.children
+        )
