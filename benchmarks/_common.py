@@ -11,6 +11,8 @@ Environment knobs:
 
 - ``REPRO_BENCH_SAMPLES`` — validation sample count for the Fig. 11 bench
   (default 30; the paper uses 300 — set it for a full run).
+- ``REPRO_BENCH_JOBS`` — worker processes for the batch-predictor-powered
+  benches (default 1; results are identical at any job count).
 """
 
 from __future__ import annotations
@@ -44,6 +46,11 @@ BENCH_SCALES: dict[str, dict] = {
 def sample_count(default: int = 30) -> int:
     """Number of random validation samples (paper: 300)."""
     return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+def bench_jobs(default: int = 1) -> int:
+    """Worker processes for sweep-style benches (``run_all.py --jobs``)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", default)))
 
 
 @lru_cache(maxsize=1)

@@ -1,0 +1,102 @@
+"""Batch-sweep throughput — the Fig. 11-style grid through ``BatchPredictor``.
+
+Not a paper artifact: this bench times the sweep engine itself on a
+Fig. 11-shaped workload — ``REPRO_BENCH_SWEEP_SAMPLES`` random Test1
+programs (default 50) × three OpenMP schedules × three thread counts — and
+asserts the engine's two contracts:
+
+- **Determinism** — the report produced with ``jobs > 1`` is byte-identical
+  to the serial one (always asserted, even on a single-core host).
+- **Scaling** — with >=4 host cores, two workers finish the grid at least
+  2x faster than one (skipped on smaller hosts, where the fork overhead
+  dominates and the comparison is meaningless).
+
+``REPRO_BENCH_JOBS`` (or ``run_all.py --jobs``) sets the worker count for
+the timed run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _common import bench_jobs
+from repro import ParallelProphet
+from repro.core.batch import BatchPredictor
+from repro.simhw import MachineConfig
+from repro.workloads import random_test1
+from repro.workloads import test1_program as make_test1
+
+SCHEDULES = ["static", "static,1", "dynamic,1"]
+THREAD_GRID = [4, 8, 12]
+
+
+def sweep_samples(default: int = 50) -> int:
+    return int(os.environ.get("REPRO_BENCH_SWEEP_SAMPLES", default))
+
+
+def _sweep_profiles(n_samples: int):
+    p = ParallelProphet(machine=MachineConfig(n_cores=12))
+    rng = np.random.default_rng(20120521)  # IPDPS 2012
+    profiles = {
+        f"sample{i:04d}": p.profile(make_test1(random_test1(rng, scale=0.4)))
+        for i in range(n_samples)
+    }
+    return p, profiles
+
+
+def _run_sweep(p, profiles, jobs: int):
+    return BatchPredictor(p, jobs=jobs).sweep(
+        profiles,
+        threads=THREAD_GRID,
+        schedules=SCHEDULES,
+        methods=("syn",),
+        memory_model=False,
+    )
+
+
+def _reports_identical(a, b) -> bool:
+    return list(a) == list(b) and all(
+        a[name].estimates == b[name].estimates for name in a
+    )
+
+
+def run_sweep_stats(jobs: int = 0):
+    """Run the grid serially and with workers; return (stats, timings)."""
+    n = sweep_samples()
+    p, profiles = _sweep_profiles(n)
+
+    t0 = time.perf_counter()
+    serial = _run_sweep(p, profiles, jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    jobs = jobs or max(2, bench_jobs())
+    t0 = time.perf_counter()
+    parallel = _run_sweep(p, profiles, jobs=jobs)
+    t_parallel = time.perf_counter() - t0
+
+    assert _reports_identical(serial, parallel)
+    n_estimates = sum(len(r) for r in serial.values())
+    assert n_estimates == n * len(SCHEDULES) * len(THREAD_GRID)
+    return {
+        "samples": n,
+        "grid_points": n_estimates,
+        "jobs": jobs,
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+    }
+
+
+def test_batch_sweep(benchmark):
+    stats = benchmark.pedantic(run_sweep_stats, rounds=1, iterations=1)
+    print(
+        f"\nbatch sweep: {stats['samples']} samples x {len(SCHEDULES)} "
+        f"schedules x {len(THREAD_GRID)} thread counts "
+        f"({stats['grid_points']} grid points); serial {stats['serial_s']:.2f}s, "
+        f"{stats['jobs']} jobs {stats['parallel_s']:.2f}s"
+    )
+    # Scaling is only observable with real parallelism on the host.
+    if (os.cpu_count() or 1) >= 4:
+        assert stats["parallel_s"] * 2.0 <= stats["serial_s"], stats

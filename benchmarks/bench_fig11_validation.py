@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import banner, fmt_row, sample_count
+from _common import banner, bench_jobs, fmt_row, sample_count
 from repro import ParallelProphet
 from repro.baselines import SuitabilityAnalysis
+from repro.core.batch import BatchPredictor, SweepTask
 from repro.core.report import error_ratio
 from repro.simhw import MachineConfig
 from repro.workloads import random_test1, random_test2
@@ -31,35 +32,55 @@ from repro.workloads import test2_program as make_test2
 SCHEDULES = ["static,1", "static", "dynamic,1"]
 
 
-def _validate(pattern: str, method: str, n_threads: int, n_samples: int):
+def _sample_profiles(pattern: str, n_threads: int, n_samples: int):
+    """Profile ``n_samples`` random programs; returns (profiles, schedules)."""
     machine = MachineConfig(n_cores=n_threads)
     p = ParallelProphet(machine=machine)
     rng = np.random.default_rng(20120521)  # IPDPS 2012
-    errors = []
+    profiles, schedules = {}, {}
     for i in range(n_samples):
         if pattern == "test1":
             program = make_test1(random_test1(rng, scale=0.4))
         else:
             program = make_test2(random_test2(rng, scale=0.4))
-        profile = p.profile(program)
-        schedule = SCHEDULES[i % len(SCHEDULES)]
-        real = p.measure_real(profile, [n_threads], schedule=schedule).speedup(
-            n_threads=n_threads
-        )
-        if method == "suit":
+        name = f"sample{i:04d}"
+        profiles[name] = p.profile(program)
+        schedules[name] = SCHEDULES[i % len(SCHEDULES)]
+    return p, profiles, schedules
+
+
+def _validate(
+    pattern: str, method: str, n_threads: int, n_samples: int, jobs: int = 0
+):
+    p, profiles, schedules = _sample_profiles(pattern, n_threads, n_samples)
+    errors = []
+    if method == "suit":
+        for name, profile in profiles.items():
+            real = p.measure_real(
+                profile, [n_threads], schedule=schedules[name]
+            ).speedup(n_threads=n_threads)
             report = SuitabilityAnalysis().predict(profile, [n_threads])
             if not len(report):
                 continue
-            pred = report.speedup(n_threads=n_threads)
-        else:
-            pred = p.predict(
-                profile,
-                threads=[n_threads],
-                schedules=[schedule],
-                methods=(method,),
+            errors.append(error_ratio(report.speedup(n_threads=n_threads), real))
+    else:
+        # The per-sample emulation + ground-truth replay grid is independent
+        # across samples: fan it out through the batch predictor (the merge
+        # is deterministic, so job count never changes the statistics).
+        predictor = BatchPredictor(p, jobs=jobs or bench_jobs())
+        tasks = [
+            SweepTask(
+                workload=name,
+                schedule=schedules[name],
+                n_threads=n_threads,
+                methods=(method, "real"),
                 memory_model=False,
-            ).speedup(method=method, n_threads=n_threads)
-        errors.append(error_ratio(pred, real))
+            )
+            for name in profiles
+        ]
+        for task, estimates in predictor.run(tasks, profiles):
+            by_method = {e.method: e.speedup for e in estimates}
+            errors.append(error_ratio(by_method[method], by_method["real"]))
     return float(np.mean(errors)), float(np.max(errors))
 
 

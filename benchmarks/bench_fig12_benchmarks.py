@@ -14,30 +14,43 @@ cores.  The reproduction targets are the paper's qualitative findings:
 
 from __future__ import annotations
 
-from _common import BENCH_SCALES, THREADS, banner, fmt_row, prophet
+from _common import BENCH_SCALES, THREADS, banner, bench_jobs, fmt_row, prophet
 from repro.baselines import SuitabilityAnalysis
-from repro.core.report import error_ratio
+from repro.core.batch import BatchPredictor, SweepTask
+from repro.core.report import SpeedupReport, error_ratio
 from repro.workloads import PAPER_ORDER, get_workload
 
 
-def run_workload(name: str):
+def run_workload(name: str, jobs: int = 0):
     p = prophet()
     wl = get_workload(name, **BENCH_SCALES[name])
     profile = p.profile(wl.program)
-    real = p.measure_real(profile, THREADS, paradigm=wl.paradigm, schedule=wl.schedule)
-    pred_m = p.predict(
-        profile, THREADS, paradigm=wl.paradigm, schedules=[wl.schedule],
-        methods=("syn",), memory_model=True,
-    )
-    pred = p.predict(
-        profile, THREADS, paradigm=wl.paradigm, schedules=[wl.schedule],
-        methods=("syn",), memory_model=False,
-    )
+    # Real / Pred / PredM across all thread counts are independent grid
+    # points — evaluate them through the (deterministic) batch predictor.
+    predictor = BatchPredictor(p, jobs=jobs or bench_jobs())
+    tasks = [
+        SweepTask(name, wl.schedule, t, methods, wl.paradigm, memory_model)
+        for methods, memory_model in (
+            (("real",), False),
+            (("syn",), True),
+            (("syn",), False),
+        )
+        for t in THREADS
+    ]
+    report = SpeedupReport()
+    for _task, estimates in predictor.run(tasks, {name: profile}):
+        report.extend(estimates)
     suit_report = SuitabilityAnalysis().predict(profile, THREADS)
     rows = {
-        "Real": [real.speedup(n_threads=t) for t in THREADS],
-        "PredM": [pred_m.speedup(n_threads=t) for t in THREADS],
-        "Pred": [pred.speedup(n_threads=t) for t in THREADS],
+        "Real": [report.speedup(method="real", n_threads=t) for t in THREADS],
+        "PredM": [
+            report.speedup(method="syn", n_threads=t, with_memory_model=True)
+            for t in THREADS
+        ],
+        "Pred": [
+            report.speedup(method="syn", n_threads=t, with_memory_model=False)
+            for t in THREADS
+        ],
         "Suit": (
             [suit_report.speedup(n_threads=t) for t in THREADS]
             if len(suit_report)

@@ -75,6 +75,18 @@ def test_omp_replay_throughput(benchmark):
     assert result > 0
 
 
+def _homogeneous_profile(n_tasks=400):
+    """Identical tasks: RLE collapses the loop to one stored child."""
+
+    def program(tr):
+        with tr.section("loop"):
+            for _ in range(n_tasks):
+                with tr.task():
+                    tr.compute(12_000)
+
+    return IntervalProfiler(MACHINE).profile(program)
+
+
 def test_ff_emulation_throughput(benchmark):
     """Fast-forward emulation over a 400-task tree."""
     profile = _flat_profile(400)
@@ -82,6 +94,47 @@ def test_ff_emulation_throughput(benchmark):
 
     def run():
         time, _ = ff.emulate_profile(profile.tree, 8, Schedule.static_chunk(1))
+        return time
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_ff_fast_path_throughput(benchmark):
+    """Closed-form fast path on an RLE-compressed homogeneous 400-task loop.
+
+    The exact heap walk rematerializes all 400 tasks; the closed form visits
+    the stored (compressed) children only.  Assert the >=5x node reduction
+    and that the fast path is not slower, then benchmark the fast path.
+    """
+    import time as _time
+
+    profile = _homogeneous_profile(400)
+    sched = Schedule.static_chunk(1)
+    fast = FastForwardEmulator()
+    exact = FastForwardEmulator(fast_path=False)
+
+    t_fast, _ = fast.emulate_profile(profile.tree, 8, sched)
+    t_exact, _ = exact.emulate_profile(profile.tree, 8, sched)
+    assert abs(t_fast - t_exact) <= 1e-9 * max(t_fast, t_exact)
+    assert fast.fast_path_hits >= 1 and fast.fast_path_misses == 0
+    assert exact.nodes_visited >= 5 * fast.nodes_visited, (
+        exact.nodes_visited,
+        fast.nodes_visited,
+    )
+
+    def _wall(emu, reps=20):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = _time.perf_counter()
+            emu.emulate_profile(profile.tree, 8, sched)
+            best = min(best, _time.perf_counter() - t0)
+        return best
+
+    assert _wall(fast) < _wall(exact)
+
+    def run():
+        time, _ = fast.emulate_profile(profile.tree, 8, sched)
         return time
 
     result = benchmark(run)
@@ -113,3 +166,23 @@ def test_dram_solve_throughput(benchmark):
 
     result = benchmark(run)
     assert result >= 1.0
+
+
+def test_dram_solve_cached_throughput(benchmark):
+    """Repeated identical segment sets hit the memoized solve."""
+    from repro.simhw import DramModel, SegmentDemand
+
+    model = DramModel(MACHINE)
+    segs = [
+        SegmentDemand(mem_fraction=0.3 + 0.05 * (i % 8), demand_bytes_per_sec=2.5e9)
+        for i in range(12)
+    ]
+    model.stall_multiplier(segs)  # warm the cache
+
+    def run():
+        return model.stall_multiplier(segs)
+
+    result = benchmark(run)
+    assert result >= 1.0
+    info = model.cache_info()
+    assert info["hits"] >= 1 and info["size"] >= 1

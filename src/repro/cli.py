@@ -12,6 +12,10 @@ Commands
 ``calibrate``
     Run the memory-model calibration microbenchmark and print the fitted
     Ψ/Φ formulas (Eqs. 6-7).
+``sweep``
+    Batch-predict a full (workload × schedule × threads) grid, optionally
+    fanned out over worker processes (``--jobs``); deterministic regardless
+    of the worker count.
 
 Examples::
 
@@ -19,6 +23,7 @@ Examples::
     python -m repro predict npb_ft --threads 2,4,6,8,10,12
     python -m repro profile ompscr_lu -o lu.json
     python -m repro predict lu.json --schedules static,1 --no-real
+    python -m repro sweep npb_ft,npb_cg --jobs 4 --methods ff,syn,real
 """
 
 from __future__ import annotations
@@ -155,6 +160,51 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: batch-predict a grid of workloads, schedules, threads."""
+    from repro.core.batch import BatchPredictor
+
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+    threads = _parse_threads(args.threads)
+    schedules = args.schedules.split(";")
+    methods = tuple(args.methods.split(","))
+
+    profiles = {}
+    for target in args.workloads.split(","):
+        target = target.strip()
+        if not target:
+            continue
+        if Path(target).suffix == ".json" and Path(target).exists():
+            profiles[Path(target).stem] = load_profile(target)
+        else:
+            wl = get_workload(target)
+            profiles[wl.name] = prophet.profile(wl.program)
+
+    predictor = BatchPredictor(prophet, jobs=args.jobs)
+    print(
+        f"sweeping {len(profiles)} workload(s) × {len(schedules)} schedule(s) "
+        f"× {len(threads)} thread count(s), methods={list(methods)}, "
+        f"jobs={predictor.jobs}"
+    )
+    reports = predictor.sweep(
+        profiles,
+        threads=threads,
+        schedules=schedules,
+        methods=methods,
+        memory_model=not args.no_memory_model,
+    )
+    sections = []
+    for name, report in reports.items():
+        print(f"\n== {name} ==")
+        print(report.to_table())
+        sections.append(f"## {name}\n\n{report.to_markdown()}\n")
+    if args.output:
+        Path(args.output).write_text("# Sweep report\n\n" + "\n".join(sections))
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     """``calibrate``: print the machine's fitted Eqs. 6-7."""
     machine = _machine_from_args(args)
@@ -219,6 +269,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--schedule", default="static")
     _add_machine_args(p_diag)
     p_diag.set_defaults(func=cmd_diagnose)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="batch-predict a workload × schedule × threads grid"
+    )
+    p_sweep.add_argument(
+        "workloads",
+        help="comma-separated workload names and/or saved profile .json paths",
+    )
+    p_sweep.add_argument(
+        "--threads", default="2,4,6,8,10,12", help="comma-separated counts"
+    )
+    p_sweep.add_argument(
+        "--schedules",
+        default="static",
+        help="semicolon-separated OpenMP schedules (e.g. 'static,1;dynamic,1')",
+    )
+    p_sweep.add_argument(
+        "--methods", default="syn", help="comma-separated: ff,syn,real"
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process; results identical either way)",
+    )
+    p_sweep.add_argument(
+        "--no-memory-model", action="store_true", help="disable burden factors"
+    )
+    p_sweep.add_argument("-o", "--output", help="write a markdown report here")
+    _add_machine_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_cal = sub.add_parser("calibrate", help="print fitted Psi/Phi formulas")
     p_cal.add_argument("--threads", default="2,4,8,12")

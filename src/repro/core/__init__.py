@@ -21,8 +21,11 @@ from repro.core.serialize import (
     save_profile,
 )
 from repro.core.prophet import ParallelProphet
+from repro.core.batch import BatchPredictor, SweepTask
 
 __all__ = [
+    "BatchPredictor",
+    "SweepTask",
     "Node",
     "NodeKind",
     "ProgramTree",

@@ -1,0 +1,331 @@
+"""Sweep-scale batch prediction over (workload × schedule × threads × method).
+
+The paper sells the emulators as lightweight per estimate (§VII-D), but the
+validation methodology multiplies estimates: Fig. 11 alone is hundreds of
+samples × schedules × core counts of *independent* emulations.  Every grid
+point is a pure function of ``(profile, schedule, n_threads, method)``, so
+the sweep is embarrassingly parallel — this module fans it out over a
+``ProcessPoolExecutor`` with a deterministic merge.
+
+Guarantees
+----------
+- **Determinism**: results are returned in grid order regardless of worker
+  completion order, and the same worker code runs whether ``jobs`` is 1
+  (in-process, no pool) or N (processes).  A parallel sweep is byte-identical
+  to the serial one.
+- **One calibration**: burden factors are attached to each profile in the
+  parent *before* dispatch, so workers never re-run the Ψ/Φ microbenchmark
+  (the prophet's calibration cache is shared by construction).
+- **Bounded pickling**: tasks are grouped per workload and chunked, so a
+  profile crosses the process boundary O(jobs) times, not once per point.
+
+Typical use::
+
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profiles = {"ft": prophet.profile(ft_program)}
+    reports = BatchPredictor(prophet, jobs=4).sweep(
+        profiles,
+        threads=[2, 4, 8, 12],
+        schedules=["static", "static,1", "dynamic,1"],
+        methods=("ff", "syn", "real"),
+    )
+    print(reports["ft"].to_table())
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.ffemu import FastForwardEmulator
+from repro.core.profiler import ProgramProfile
+from repro.core.report import SpeedupEstimate, SpeedupReport
+from repro.core.synthesizer import Synthesizer
+from repro.errors import ConfigurationError
+from repro.runtime.overhead import RuntimeOverheads
+from repro.runtime.tasks import Schedule
+
+#: Prediction methods a sweep task may request.
+SWEEP_METHODS = ("ff", "syn", "real")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid point: all requested methods for (workload, schedule, t).
+
+    ``schedule`` is kept as its string label so tasks stay hashable and
+    cheap to pickle; it is parsed once inside the worker.
+    """
+
+    workload: str
+    schedule: str
+    n_threads: int
+    methods: tuple[str, ...] = ("syn",)
+    paradigm: str = "omp"
+    memory_model: bool = True
+
+    def __post_init__(self) -> None:
+        for m in self.methods:
+            if m not in SWEEP_METHODS:
+                raise ConfigurationError(
+                    f"unknown sweep method {m!r} (expected one of {SWEEP_METHODS})"
+                )
+        if self.n_threads < 1:
+            raise ConfigurationError(
+                f"n_threads must be >= 1, got {self.n_threads}"
+            )
+
+
+def _predict_point(
+    profile: ProgramProfile,
+    overheads: RuntimeOverheads,
+    task: SweepTask,
+    ff: FastForwardEmulator,
+) -> list[SpeedupEstimate]:
+    """Evaluate one grid point; runs identically in-process or in a worker.
+
+    Uses ``profile.machine`` (the machine the profile was taken on) for the
+    synthesizer and ground-truth replays, mirroring how the facade's
+    prediction paths behave.
+    """
+    schedule = Schedule.parse(task.schedule)
+    serial = profile.serial_cycles()
+    estimates: list[SpeedupEstimate] = []
+    for method in task.methods:
+        if method == "ff":
+            burdens = (
+                {
+                    name: profile.burden_for(name, task.n_threads)
+                    for name in profile.sections
+                }
+                if task.memory_model
+                else {}
+            )
+            predicted, ff_sections = ff.emulate_profile(
+                profile.tree, task.n_threads, schedule, burdens
+            )
+            estimates.append(
+                SpeedupEstimate(
+                    method="ff",
+                    paradigm=task.paradigm,
+                    schedule=schedule.label,
+                    n_threads=task.n_threads,
+                    speedup=serial / predicted if predicted > 0 else 1.0,
+                    with_memory_model=task.memory_model,
+                    sections={r.name: r.speedup for r in ff_sections},
+                )
+            )
+        elif method == "syn":
+            syn = Synthesizer(
+                paradigm=task.paradigm, schedule=schedule, overheads=overheads
+            )
+            run = syn.predict(
+                profile, task.n_threads, use_memory_model=task.memory_model
+            )
+            estimates.append(run.estimate)
+        else:  # "real" — simulated ground-truth replay
+            executor = ParallelExecutor(
+                machine=profile.machine,
+                paradigm=task.paradigm,
+                schedule=schedule,
+                overheads=overheads,
+            )
+            result = executor.execute_profile(
+                profile.tree, task.n_threads, ReplayMode.REAL
+            )
+            estimates.append(
+                SpeedupEstimate(
+                    method="real",
+                    paradigm=task.paradigm,
+                    schedule=schedule.label,
+                    n_threads=task.n_threads,
+                    speedup=result.speedup,
+                )
+            )
+    return estimates
+
+
+def _run_taskset(
+    profile: ProgramProfile,
+    overheads: RuntimeOverheads,
+    indexed_tasks: Sequence[tuple[int, SweepTask]],
+) -> list[tuple[int, list[SpeedupEstimate]]]:
+    """Worker entry point: evaluate a chunk of one workload's grid points.
+
+    One FF emulator instance is shared across the chunk (it is stateless
+    between ``emulate_profile`` calls), so repeated grid points amortise
+    its setup the same way the facade's hoisted loop does.
+    """
+    ff = FastForwardEmulator(overheads)
+    return [
+        (index, _predict_point(profile, overheads, task, ff))
+        for index, task in indexed_tasks
+    ]
+
+
+class BatchPredictor:
+    """Deterministic fan-out of prediction grids over worker processes."""
+
+    def __init__(
+        self,
+        prophet=None,
+        jobs: Optional[int] = None,
+        chunks_per_job: int = 4,
+    ) -> None:
+        """``jobs=None`` uses every CPU; ``jobs=1`` runs in-process (no pool
+        is created, which keeps single-job sweeps overhead-free and makes
+        the serial run the natural determinism baseline).  ``chunks_per_job``
+        controls work-stealing granularity: each worker receives roughly
+        this many chunks so an expensive grid point cannot straggle the
+        whole sweep."""
+        if prophet is None:
+            from repro.core.prophet import ParallelProphet
+
+            prophet = ParallelProphet()
+        self.prophet = prophet
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if chunks_per_job < 1:
+            raise ConfigurationError(
+                f"chunks_per_job must be >= 1, got {chunks_per_job}"
+            )
+        self.chunks_per_job = chunks_per_job
+
+    # ------------------------------------------------------------------ API
+
+    def sweep(
+        self,
+        profiles: Union[ProgramProfile, Mapping[str, ProgramProfile]],
+        threads: Sequence[int],
+        schedules: Iterable[Union[str, Schedule]] = ("static",),
+        methods: Sequence[str] = ("syn",),
+        paradigm: str = "omp",
+        memory_model: bool = True,
+    ) -> dict[str, SpeedupReport]:
+        """Evaluate the full (workload × schedule × threads) grid.
+
+        Returns one :class:`SpeedupReport` per workload with estimates in
+        grid order (schedules outer, threads inner — the same order
+        :meth:`ParallelProphet.predict` emits).
+        """
+        if isinstance(profiles, ProgramProfile):
+            profiles = {"workload": profiles}
+        else:
+            profiles = dict(profiles)
+        labels = [
+            s.label if isinstance(s, Schedule) else Schedule.parse(s).label
+            for s in schedules
+        ]
+        tasks = [
+            SweepTask(
+                workload=name,
+                schedule=label,
+                n_threads=t,
+                methods=tuple(methods),
+                paradigm=paradigm,
+                memory_model=memory_model,
+            )
+            for name in profiles
+            for label in labels
+            for t in threads
+        ]
+        reports = {name: SpeedupReport() for name in profiles}
+        for task, estimates in self.run(tasks, profiles):
+            reports[task.workload].extend(estimates)
+        return reports
+
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        profiles: Mapping[str, ProgramProfile],
+    ) -> list[tuple[SweepTask, list[SpeedupEstimate]]]:
+        """Evaluate an explicit task list; results come back in task order.
+
+        This is the engine under :meth:`sweep` for grids that are not plain
+        cross products (e.g. a different schedule per sample, or ground
+        truth only at selected thread counts).
+        """
+        for task in tasks:
+            if task.workload not in profiles:
+                raise ConfigurationError(
+                    f"task references unknown workload {task.workload!r}"
+                )
+        self._attach_burdens(tasks, profiles)
+
+        indexed = list(enumerate(tasks))
+        by_workload: dict[str, list[tuple[int, SweepTask]]] = {}
+        for index, task in indexed:
+            by_workload.setdefault(task.workload, []).append((index, task))
+
+        jobs = min(self.jobs, len(tasks)) if tasks else 1
+        overheads = self.prophet.overheads
+        gathered: list[tuple[int, list[SpeedupEstimate]]] = []
+        if jobs <= 1:
+            for name, items in by_workload.items():
+                gathered.extend(_run_taskset(profiles[name], overheads, items))
+        else:
+            chunk = max(1, math.ceil(len(tasks) / (jobs * self.chunks_per_job)))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _run_taskset,
+                        profiles[name],
+                        overheads,
+                        items[pos : pos + chunk],
+                    )
+                    for name, items in by_workload.items()
+                    for pos in range(0, len(items), chunk)
+                ]
+                for future in futures:
+                    gathered.extend(future.result())
+        gathered.sort(key=lambda pair: pair[0])
+        return [(tasks[index], estimates) for index, estimates in gathered]
+
+    # ------------------------------------------------------------- internals
+
+    def _attach_burdens(
+        self,
+        tasks: Sequence[SweepTask],
+        profiles: Mapping[str, ProgramProfile],
+    ) -> None:
+        """Attach burden factors once per profile, in the parent process.
+
+        Only thread counts actually requested with the memory model by a
+        predictive method need Ψ/Φ evaluation; the calibration itself is
+        computed once on the prophet and reused for every profile."""
+        for name, profile in profiles.items():
+            wanted = sorted(
+                {
+                    task.n_threads
+                    for task in tasks
+                    if task.workload == name
+                    and task.memory_model
+                    and any(m in ("ff", "syn") for m in task.methods)
+                }
+            )
+            if wanted and profile.sections:
+                self.prophet.attach_burdens(profile, wanted)
+
+
+def sweep(
+    profiles: Union[ProgramProfile, Mapping[str, ProgramProfile]],
+    threads: Sequence[int],
+    schedules: Iterable[Union[str, Schedule]] = ("static",),
+    methods: Sequence[str] = ("syn",),
+    paradigm: str = "omp",
+    memory_model: bool = True,
+    jobs: Optional[int] = None,
+    prophet=None,
+) -> dict[str, SpeedupReport]:
+    """Module-level convenience wrapper around :meth:`BatchPredictor.sweep`."""
+    return BatchPredictor(prophet, jobs=jobs).sweep(
+        profiles,
+        threads=threads,
+        schedules=schedules,
+        methods=methods,
+        paradigm=paradigm,
+        memory_model=memory_model,
+    )

@@ -27,6 +27,7 @@ Burden factors multiply every terminal node length in the section (Fig. 4).
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Mapping, Optional
@@ -100,13 +101,23 @@ class FastForwardEmulator:
         self,
         overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
         max_steps: int = 50_000_000,
+        fast_path: bool = True,
     ) -> None:
         self.overheads = overheads
         self.max_steps = max_steps
+        #: When True, sections made of pure-U homogeneous task runs under a
+        #: static-family schedule are predicted in closed form per compressed
+        #: run instead of per logical iteration (see :meth:`_closed_form`).
+        #: The fast path agrees with the heap walk up to float summation
+        #: order (<= 1e-9 relative); set False to force the exact walk.
+        self.fast_path = fast_path
         #: Tree-node visits performed by the last emulate_profile call — the
         #: FF's dominant cost (the paper reports 30×+ slowdowns on FFT from
         #: exactly this traversal plus heap pressure).
         self.nodes_visited = 0
+        #: Sections predicted in closed form / forced onto the exact walk.
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
 
     # ----------------------------------------------------------------- API
 
@@ -120,16 +131,20 @@ class FastForwardEmulator:
         """Predicted whole-program parallel time plus per-section results."""
         burdens = burdens or {}
         self.nodes_visited = 0
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
         total = 0.0
         results: list[FFSectionResult] = []
         # Emulation is deterministic: dictionary-shared section nodes give
-        # identical results, so memoise per node object.
-        cache: dict[int, float] = {}
+        # identical results, so memoise per (node object, burden).
+        cache: dict[tuple[int, float], float] = {}
         from repro.core.tree import group_nowait_chains
 
         for item in group_nowait_chains(tree.root.children):
             if isinstance(item, list):
-                cycles = self.emulate_chain(item, n_threads, schedule, burdens)
+                cycles = self.emulate_chain(
+                    item, n_threads, schedule, burdens, cache=cache
+                )
                 total += cycles
                 results.append(
                     FFSectionResult(
@@ -142,10 +157,10 @@ class FastForwardEmulator:
                 total += item.length * item.repeat
             elif item.kind is NodeKind.SEC:
                 beta = burdens.get(item.name, 1.0)
-                cycles = cache.get(id(item))
+                cycles = cache.get((id(item), beta))
                 if cycles is None:
                     cycles = self.emulate_section(item, n_threads, schedule, beta)
-                    cache[id(item)] = cycles
+                    cache[(id(item), beta)] = cycles
                 total += cycles * item.repeat
                 results.append(
                     FFSectionResult(
@@ -176,10 +191,111 @@ class FastForwardEmulator:
             return ff_pipeline_cycles(
                 sec, n_threads, burden=burden, overheads=self.overheads
             )
+        if self.fast_path:
+            cycles = self._closed_form(sec, n_threads, schedule, burden)
+            if cycles is not None:
+                self.fast_path_hits += 1
+                return cycles
+            self.fast_path_misses += 1
         engine = _Engine(self, n_threads, schedule, burden)
         end = engine.run(sec)
         self.nodes_visited += engine.nodes_visited
         return end
+
+    def _closed_form(
+        self, sec: Node, n_threads: int, schedule: Schedule, burden: float
+    ) -> Optional[float]:
+        """RLE-aware closed-form prediction, or None when inapplicable.
+
+        Applicable when the schedule is in the static family and every task
+        of ``sec`` consists purely of unlocked computation (U nodes): the
+        heap walk then has no cross-walker interaction (no lock availability,
+        no nested activations, no run-time chunk grabbing), so each CPU's
+        finish time is simply ``fork + (#dispatches)·dispatch + owned work``.
+        Owned work is summed per *compressed run* of identical tasks (one
+        representative task is costed, then replicated analytically across
+        the run and across threads), making the cost O(stored nodes + t)
+        instead of O(logical iterations) — the §VI-B compression win carried
+        through to emulation time.
+        """
+        if schedule.is_dynamic_family:
+            return None
+        runs: list[tuple[int, float]] = []  # (iterations, cycles per task)
+        visits = 0
+        for task in sec.children:
+            dur = 0.0
+            for child in task.children:
+                if child.kind is not NodeKind.U:
+                    return None
+                dur += child.length * child.repeat
+                visits += 1
+            runs.append((task.repeat, dur * burden))
+        self.nodes_visited += visits
+        oh = self.overheads
+        fork = oh.omp_fork_base + oh.omp_fork_per_thread * (n_threads - 1)
+        n_iters = sum(count for count, _ in runs)
+        if n_iters == 0:
+            return fork + oh.omp_join_barrier
+        dispatch = oh.omp_static_dispatch
+        # Prefix sums over runs: iteration index -> cumulative work.
+        starts = [0] * len(runs)
+        prefix = [0.0] * (len(runs) + 1)
+        acc = 0
+        for i, (count, dur) in enumerate(runs):
+            starts[i] = acc
+            acc += count
+            prefix[i + 1] = prefix[i] + count * dur
+
+        def work_range(a: int, b: int) -> float:
+            """Serial work of logical iterations [a, b)."""
+            if b <= a:
+                return 0.0
+            total = 0.0
+            i = bisect_right(starts, a) - 1
+            while i < len(runs) and starts[i] < b:
+                count, dur = runs[i]
+                lo = max(a, starts[i])
+                hi = min(b, starts[i] + count)
+                if lo == starts[i] and hi == starts[i] + count:
+                    total += prefix[i + 1] - prefix[i]
+                else:
+                    total += (hi - lo) * dur
+                i += 1
+            return total
+
+        end = fork
+        if schedule.kind is ScheduleKind.STATIC:
+            # Contiguous blocks, one dispatch entry per non-empty thread.
+            base, extra = divmod(n_iters, n_threads)
+            start = 0
+            for tid in range(n_threads):
+                count = base + (1 if tid < extra else 0)
+                if count == 0:
+                    break
+                finish = fork + dispatch + work_range(start, start + count)
+                start += count
+                if finish > end:
+                    end = finish
+        else:  # STATIC_CHUNK: chunks of c dealt round-robin.
+            c = schedule.chunk
+            n_chunks = -(-n_iters // c)
+            period = n_threads * c
+
+            def owned_below(x: int, tid: int) -> int:
+                """|{i < x : iteration i owned by thread tid}|."""
+                full, rem = divmod(x, period)
+                return full * c + min(max(rem - tid * c, 0), c)
+
+            for tid in range(min(n_threads, n_chunks)):
+                q = (n_chunks - 1 - tid) // n_threads + 1
+                owned = 0.0
+                for i, (count, dur) in enumerate(runs):
+                    a, b = starts[i], starts[i] + count
+                    owned += dur * (owned_below(b, tid) - owned_below(a, tid))
+                finish = fork + q * dispatch + owned
+                if finish > end:
+                    end = finish
+        return end + oh.omp_join_barrier
 
     def emulate_chain(
         self,
@@ -187,6 +303,7 @@ class FastForwardEmulator:
         n_threads: int,
         schedule: Schedule,
         burdens: Optional[Mapping[str, float]] = None,
+        cache: Optional[dict[tuple[int, float], float]] = None,
     ) -> float:
         """Predicted cycles for a ``nowait`` chain of top-level sections
         executed by one team (PAR_SEC_END(nowait) semantics, Table II).
@@ -195,14 +312,23 @@ class FastForwardEmulator:
         thread's chunk sequence across loops is known up front.  For
         dynamic/guided the FF falls back to barrier semantics — one of its
         documented approximations (the synthesizer handles those exactly).
+        On that fallback path, ``cache`` (keyed ``(id(sec), burden)``) lets
+        dictionary-shared section nodes inside the chain reuse earlier
+        emulations instead of re-running them.
         """
         burdens = burdens or {}
         betas = [burdens.get(s.name, 1.0) for s in secs]
         if schedule.is_dynamic_family:
-            return sum(
-                self.emulate_section(s, n_threads, schedule, b)
-                for s, b in zip(secs, betas)
-            )
+            total = 0.0
+            for s, b in zip(secs, betas):
+                key = (id(s), b)
+                cycles = cache.get(key) if cache is not None else None
+                if cycles is None:
+                    cycles = self.emulate_section(s, n_threads, schedule, b)
+                    if cache is not None:
+                        cache[key] = cycles
+                total += cycles
+            return total
         engine = _Engine(self, n_threads, schedule, 1.0)
         end = engine.run_chain(secs, betas)
         self.nodes_visited += engine.nodes_visited

@@ -122,20 +122,30 @@ class ParallelProphet:
 
         report = SpeedupReport()
         serial = profile.serial_cycles()
+        # Burden tables depend only on the thread count, and the FF emulator
+        # is stateless between runs: compute/construct each once for the
+        # whole (schedule × threads) grid instead of per grid point.
+        burden_tables: dict[int, dict[str, float]] = {
+            t: (
+                {name: profile.burden_for(name, t) for name in profile.sections}
+                if memory_model
+                else {}
+            )
+            for t in threads
+        }
+        ff = FastForwardEmulator(self.overheads) if "ff" in methods else None
         for schedule in scheds:
-            for t in threads:
-                burdens = (
-                    {
-                        name: profile.burden_for(name, t)
-                        for name in profile.sections
-                    }
-                    if memory_model
-                    else {}
+            syn = (
+                Synthesizer(
+                    paradigm=paradigm, schedule=schedule, overheads=self.overheads
                 )
-                if "ff" in methods:
-                    ff = FastForwardEmulator(self.overheads)
+                if "syn" in methods
+                else None
+            )
+            for t in threads:
+                if ff is not None:
                     predicted, ff_sections = ff.emulate_profile(
-                        profile.tree, t, schedule, burdens
+                        profile.tree, t, schedule, burden_tables[t]
                     )
                     report.add(
                         SpeedupEstimate(
@@ -148,10 +158,7 @@ class ParallelProphet:
                             sections={r.name: r.speedup for r in ff_sections},
                         )
                     )
-                if "syn" in methods:
-                    syn = Synthesizer(
-                        paradigm=paradigm, schedule=schedule, overheads=self.overheads
-                    )
+                if syn is not None:
                     run = syn.predict(profile, t, use_memory_model=memory_model)
                     report.add(run.estimate)
         return report

@@ -38,6 +38,7 @@ treat compute progress as piecewise-linear.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -50,6 +51,16 @@ _SOLVE_TOL = 1e-9
 #: Ceiling of the stall multiplier; only reachable with physically
 #: inconsistent segment demands (traffic without proportional stall time).
 _K_MAX = 1e12
+
+
+def _quantize(x: float) -> float:
+    """Round to 12 significant digits for cache keying.
+
+    Collapsing float noise three orders of magnitude below the solver
+    tolerance (1e-9 relative) lets running sets that differ only by
+    accumulated rounding share a cache slot without observably changing the
+    returned multiplier."""
+    return float(f"{x:.12g}")
 
 
 @dataclass(frozen=True)
@@ -83,11 +94,19 @@ class DramModel:
     """Self-consistent bandwidth sharing for concurrent compute segments."""
 
     def __init__(
-        self, config: MachineConfig, peak_bytes_per_sec: float | None = None
+        self,
+        config: MachineConfig,
+        peak_bytes_per_sec: float | None = None,
+        cache_size: int | None = None,
     ) -> None:
         """``peak_bytes_per_sec`` overrides the pool's capacity — used for
         per-socket pools on NUMA machines (each socket gets
-        ``config.dram_peak_bytes_per_sec_per_socket``)."""
+        ``config.dram_peak_bytes_per_sec_per_socket``).
+
+        ``cache_size`` bounds the LRU memo of :meth:`stall_multiplier`
+        results (running sets recur constantly across DES timeslices, so the
+        200-step bisection is usually redundant); ``None`` takes the
+        machine's ``dram_solve_cache`` knob and ``0`` disables caching."""
         self.config = config
         self._peak = (
             peak_bytes_per_sec
@@ -95,6 +114,16 @@ class DramModel:
             else config.dram_peak_bytes_per_sec
         )
         self._kappa = config.dram_queue_gain
+        self._cache_size = (
+            config.dram_solve_cache if cache_size is None else cache_size
+        )
+        #: LRU memo: quantized (mem_fraction, demand) multiset -> k.
+        self._cache: OrderedDict[tuple, float] = OrderedDict()
+        #: Warm-start bracket: the last saturated solve's upper bound, reused
+        #: as the initial ``hi`` so the doubling search rarely re-runs.
+        self._warm_hi = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- scalar curves ------------------------------------------------------
 
@@ -115,17 +144,46 @@ class DramModel:
 
     def stall_multiplier(self, segments: Sequence[SegmentDemand]) -> float:
         """The common factor k by which every segment's per-miss stall is
-        inflated, given the currently running set."""
-        demands = [s.demand_bytes_per_sec for s in segments]
-        total = sum(demands)
+        inflated, given the currently running set.
+
+        Results are memoised in a bounded LRU keyed by the quantized
+        multiset of ``(mem_fraction, demand)`` pairs: the DES kernel
+        re-solves on every running-set change, and identical sets recur
+        constantly across timeslices."""
+        total = sum(s.demand_bytes_per_sec for s in segments)
         if total <= 0:
             return 1.0
+        key = None
+        if self._cache_size > 0:
+            key = tuple(
+                sorted(
+                    (_quantize(s.mem_fraction), _quantize(s.demand_bytes_per_sec))
+                    for s in segments
+                    if s.demand_bytes_per_sec > 0
+                )
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+        self.cache_misses += 1
+        k = self._solve(segments, total)
+        if key is not None:
+            self._cache[key] = k
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return k
+
+    def _solve(self, segments: Sequence[SegmentDemand], total: float) -> float:
         k_queue = self.queue_factor(self.utilisation(total))
         if self._achieved(segments, k_queue) <= self._peak:
             return k_queue
         # Saturated: solve A(k) = B.  A is strictly decreasing in k (every
         # segment with d_i > 0 has f_i > 0 because misses imply stall time).
         lo, hi = k_queue, max(2.0 * k_queue, 2.0)
+        if self._warm_hi > hi:
+            hi = self._warm_hi
         while self._achieved(segments, hi) > self._peak:
             hi *= 2.0
             if hi > _K_MAX:
@@ -133,6 +191,7 @@ class DramModel:
                 # fraction) cannot be throttled below peak: saturate the
                 # multiplier instead of diverging.
                 return _K_MAX
+        self._warm_hi = hi
         for _ in range(200):
             mid = 0.5 * (lo + hi)
             if self._achieved(segments, mid) > self._peak:
@@ -142,6 +201,22 @@ class DramModel:
             if hi - lo <= _SOLVE_TOL * hi:
                 break
         return 0.5 * (lo + hi)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters plus current and maximum cache size."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoised solves and reset the counters."""
+        self._cache.clear()
+        self._warm_hi = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _achieved(self, segments: Sequence[SegmentDemand], k: float) -> float:
         return sum(

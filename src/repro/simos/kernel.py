@@ -105,6 +105,19 @@ class SimKernel:
         """A start/stop view over the global counter accumulator."""
         return PerfCounters(self.counters)
 
+    def dram_cache_stats(self) -> dict[str, int]:
+        """Aggregated DRAM-solve memo counters across all socket pools.
+
+        The kernel calls :meth:`DramModel.slowdowns` on every running-set
+        change; the hit ratio here is the fraction of those contention solves
+        answered from the LRU memo instead of the bisection."""
+        stats = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+        for pool in self.dram_pools:
+            info = pool.cache_info()
+            for field in stats:
+                stats[field] += info[field]
+        return stats
+
     def run(self) -> float:
         """Run until every spawned thread has finished; returns final time."""
         self._dispatch_and_reconfigure()

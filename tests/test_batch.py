@@ -1,0 +1,198 @@
+"""Tests for the batch sweep engine (``repro.core.batch``)."""
+
+import pytest
+
+from repro import ParallelProphet
+from repro.core.batch import BatchPredictor, SweepTask, sweep
+from repro.errors import ConfigurationError
+from repro.simhw import MachineConfig
+
+M = MachineConfig(n_cores=8)
+
+
+def imbalanced_loop(tr):
+    with tr.section("loop"):
+        for i in range(16):
+            with tr.task():
+                tr.compute(5_000 + 1_000 * (i % 4))
+
+
+def memory_loop(tr):
+    from repro.simhw.memtrace import AccessPattern, MemSpec
+
+    with tr.section("mem"):
+        for _ in range(8):
+            with tr.task():
+                tr.compute(
+                    20_000,
+                    mem=MemSpec(AccessPattern.STREAMING, bytes_touched=1_000_000),
+                )
+
+
+@pytest.fixture(scope="module")
+def prophet():
+    return ParallelProphet(machine=M)
+
+
+@pytest.fixture(scope="module")
+def profiles(prophet):
+    return {
+        "cpu": prophet.profile(imbalanced_loop),
+        "mem": prophet.profile(memory_loop),
+    }
+
+
+class TestSweepTask:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepTask("w", "static", 4, methods=("magic",))
+
+    def test_bad_thread_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepTask("w", "static", 0)
+
+    def test_hashable_and_frozen(self):
+        task = SweepTask("w", "static", 4)
+        assert task in {task}
+        with pytest.raises(AttributeError):
+            task.n_threads = 8
+
+
+class TestSweepGrid:
+    def test_grid_order_and_shape(self, prophet, profiles):
+        reports = BatchPredictor(prophet, jobs=1).sweep(
+            profiles,
+            threads=[2, 4],
+            schedules=["static", "static,1"],
+            methods=("syn",),
+            memory_model=False,
+        )
+        assert set(reports) == {"cpu", "mem"}
+        keys = [
+            (e.schedule, e.n_threads, e.method)
+            for e in reports["cpu"].estimates
+        ]
+        # Schedules outer, threads inner — ParallelProphet.predict's order.
+        assert keys == [
+            ("static", 2, "syn"),
+            ("static", 4, "syn"),
+            ("static,1", 2, "syn"),
+            ("static,1", 4, "syn"),
+        ]
+
+    def test_single_profile_shorthand(self, prophet, profiles):
+        reports = BatchPredictor(prophet, jobs=1).sweep(
+            profiles["cpu"], threads=[4], memory_model=False
+        )
+        assert list(reports) == ["workload"]
+        assert reports["workload"].speedup(n_threads=4) > 1.0
+
+    def test_matches_prophet_predict(self, prophet, profiles):
+        """The batch engine must agree exactly with the facade's loop."""
+        direct = prophet.predict(
+            profiles["cpu"],
+            threads=[2, 4],
+            schedules=["static,1"],
+            methods=("ff", "syn"),
+            memory_model=False,
+        )
+        batched = BatchPredictor(prophet, jobs=1).sweep(
+            {"cpu": profiles["cpu"]},
+            threads=[2, 4],
+            schedules=["static,1"],
+            methods=("ff", "syn"),
+            memory_model=False,
+        )["cpu"]
+        assert direct.estimates == batched.estimates
+
+    def test_real_method(self, prophet, profiles):
+        reports = BatchPredictor(prophet, jobs=1).sweep(
+            profiles["cpu"], threads=[4], methods=("real",), memory_model=False
+        )
+        est = reports["workload"].one(method="real", n_threads=4)
+        assert 1.0 < est.speedup <= 4.0
+
+    def test_memory_model_burdens_attached(self, prophet, profiles):
+        reports = BatchPredictor(prophet, jobs=1).sweep(
+            profiles["mem"], threads=[8], methods=("syn",), memory_model=True
+        )
+        withm = reports["workload"].one(with_memory_model=True)
+        assert withm.speedup > 0
+        assert profiles["mem"].burden_for("mem", 8) >= 1.0
+
+    def test_module_level_sweep(self, prophet, profiles):
+        reports = sweep(
+            profiles["cpu"],
+            threads=[2],
+            memory_model=False,
+            jobs=1,
+            prophet=prophet,
+        )
+        assert reports["workload"].speedup(n_threads=2) > 1.0
+
+
+class TestRun:
+    def test_unknown_workload_rejected(self, prophet, profiles):
+        with pytest.raises(ConfigurationError):
+            BatchPredictor(prophet, jobs=1).run(
+                [SweepTask("nope", "static", 2)], profiles
+            )
+
+    def test_heterogeneous_tasks(self, prophet, profiles):
+        """Non-cross-product grids: per-task schedules and method sets."""
+        tasks = [
+            SweepTask("cpu", "static", 2, ("syn", "real"), memory_model=False),
+            SweepTask("mem", "dynamic,1", 4, ("ff",), memory_model=False),
+        ]
+        results = BatchPredictor(prophet, jobs=1).run(tasks, profiles)
+        assert [task for task, _ in results] == tasks
+        assert [e.method for e in results[0][1]] == ["syn", "real"]
+        assert [e.method for e in results[1][1]] == ["ff"]
+        assert results[1][1][0].schedule == "dynamic,1"
+
+    def test_empty_task_list(self, prophet, profiles):
+        assert BatchPredictor(prophet, jobs=1).run([], profiles) == []
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, prophet, profiles):
+        """jobs > 1 must be byte-identical to the in-process run."""
+        kwargs = dict(
+            threads=[2, 4, 8],
+            schedules=["static", "dynamic,1"],
+            methods=("ff", "syn", "real"),
+            memory_model=False,
+        )
+        serial = BatchPredictor(prophet, jobs=1).sweep(profiles, **kwargs)
+        parallel = BatchPredictor(prophet, jobs=2).sweep(profiles, **kwargs)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert serial[name].estimates == parallel[name].estimates
+            assert serial[name].to_table() == parallel[name].to_table()
+
+    def test_parallel_matches_serial_with_memory_model(self, prophet, profiles):
+        kwargs = dict(threads=[4, 8], methods=("syn",), memory_model=True)
+        serial = BatchPredictor(prophet, jobs=1).sweep(profiles, **kwargs)
+        parallel = BatchPredictor(prophet, jobs=3).sweep(profiles, **kwargs)
+        for name in serial:
+            assert serial[name].estimates == parallel[name].estimates
+
+    def test_chunking_does_not_change_results(self, prophet, profiles):
+        kwargs = dict(threads=[2, 4, 8], methods=("syn",), memory_model=False)
+        a = BatchPredictor(prophet, jobs=2, chunks_per_job=1).sweep(
+            profiles, **kwargs
+        )
+        b = BatchPredictor(prophet, jobs=2, chunks_per_job=8).sweep(
+            profiles, **kwargs
+        )
+        for name in a:
+            assert a[name].estimates == b[name].estimates
+
+
+class TestConfig:
+    def test_default_jobs_positive(self, prophet):
+        assert BatchPredictor(prophet).jobs >= 1
+
+    def test_bad_chunks_per_job(self, prophet):
+        with pytest.raises(ConfigurationError):
+            BatchPredictor(prophet, chunks_per_job=0)

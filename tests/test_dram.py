@@ -110,3 +110,109 @@ class TestStallMultiplier:
         crowded = model.effective_miss_stall([seg] * 8)
         assert crowded > alone
         assert alone >= model.config.base_miss_stall
+
+
+class TestSolveMemoization:
+    def test_cached_matches_uncached(self):
+        """Cached and cache-free models agree on randomized segment sets.
+
+        The warm-started bisection bracket makes results weakly
+        history-dependent, so the comparison is to solver tolerance, not
+        bit-exact."""
+        import random
+
+        rng = random.Random(2012)
+        cached = DramModel(MachineConfig(n_cores=12, dram_peak_gbs=12.0))
+        plain = DramModel(
+            MachineConfig(n_cores=12, dram_peak_gbs=12.0), cache_size=0
+        )
+        for _ in range(40):
+            segs = [
+                SegmentDemand(
+                    mem_fraction=rng.uniform(0.05, 1.0),
+                    demand_bytes_per_sec=rng.uniform(0.1e9, 4.0e9),
+                )
+                for _ in range(rng.randint(1, 12))
+            ]
+            # Hit each set twice so the second call exercises the cache.
+            a1 = cached.stall_multiplier(segs)
+            a2 = cached.stall_multiplier(segs)
+            assert a1 == a2
+            assert a1 == pytest.approx(plain.stall_multiplier(segs), rel=1e-6)
+        assert cached.cache_hits >= 40
+
+    def test_order_insensitive_key(self, model):
+        segs = [
+            SegmentDemand(mem_fraction=0.2 + 0.1 * i, demand_bytes_per_sec=1e9 * i)
+            for i in range(1, 5)
+        ]
+        model.stall_multiplier(segs)
+        model.stall_multiplier(list(reversed(segs)))
+        assert model.cache_hits == 1 and model.cache_misses == 1
+
+    def test_cache_bound_enforced(self):
+        model = DramModel(
+            MachineConfig(n_cores=12, dram_peak_gbs=12.0), cache_size=8
+        )
+        for i in range(1, 40):
+            seg = SegmentDemand(mem_fraction=0.5, demand_bytes_per_sec=1e8 * i)
+            model.stall_multiplier([seg])
+        info = model.cache_info()
+        assert info["size"] <= info["maxsize"] == 8
+        assert info["misses"] == 39
+
+    def test_cache_disabled(self):
+        model = DramModel(
+            MachineConfig(n_cores=12, dram_peak_gbs=12.0), cache_size=0
+        )
+        seg = SegmentDemand(mem_fraction=0.8, demand_bytes_per_sec=3e9)
+        model.stall_multiplier([seg])
+        model.stall_multiplier([seg])
+        info = model.cache_info()
+        assert info == {"hits": 0, "misses": 2, "size": 0, "maxsize": 0}
+
+    def test_machine_knob_disables_cache(self):
+        model = DramModel(
+            MachineConfig(n_cores=12, dram_peak_gbs=12.0, dram_solve_cache=0)
+        )
+        seg = SegmentDemand(mem_fraction=0.8, demand_bytes_per_sec=3e9)
+        model.stall_multiplier([seg])
+        model.stall_multiplier([seg])
+        assert model.cache_info()["hits"] == 0
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(n_cores=12, dram_solve_cache=-1)
+
+    def test_clear_cache(self, model):
+        seg = SegmentDemand(mem_fraction=0.8, demand_bytes_per_sec=3e9)
+        model.stall_multiplier([seg])
+        assert model.cache_info()["size"] == 1
+        model.clear_cache()
+        assert model.cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": model.cache_info()["maxsize"],
+        }
+
+    def test_bandwidth_cap_invariant_with_cache(self, model):
+        """The paper's physical invariant survives memoized solves."""
+        import random
+
+        rng = random.Random(7)
+        peak = model.config.dram_peak_bytes_per_sec
+        for _ in range(20):
+            segs = [
+                _streaming_segment(model.config)
+                if rng.random() < 0.3
+                else SegmentDemand(
+                    mem_fraction=rng.uniform(0.1, 0.9),
+                    demand_bytes_per_sec=rng.uniform(0.5e9, 3.5e9),
+                )
+                for _ in range(rng.randint(1, 16))
+            ]
+            for _ in range(2):  # second pass hits the cache
+                assert model.aggregate_achieved_bandwidth(segs) <= peak * (
+                    1 + 1e-6
+                )

@@ -1,6 +1,8 @@
 """Tests for the fast-forward emulator (paper Section IV-C/D)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.ffemu import FastForwardEmulator
 from repro.core.profiler import IntervalProfiler
@@ -11,6 +13,8 @@ from repro.simhw import MachineConfig
 
 M = MachineConfig(n_cores=12)
 ZERO_OH = RuntimeOverheads().scaled(0.0)
+
+lengths = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
 
 
 def profile_of(program):
@@ -244,9 +248,124 @@ class TestOverheadModelling:
 
     def test_nodes_visited_counted(self):
         profile = balanced_loop(10)
-        ff = FastForwardEmulator(ZERO_OH)
+        ff = FastForwardEmulator(ZERO_OH, fast_path=False)
         ff.emulate_profile(profile.tree, 2, Schedule.static())
         assert ff.nodes_visited >= 10
+        # The RLE fast path costs one visit per *stored* node, not per
+        # logical iteration (the compressed loop is a single repeated task).
+        fast = FastForwardEmulator(ZERO_OH)
+        fast.emulate_profile(profile.tree, 2, Schedule.static())
+        assert 1 <= fast.nodes_visited < ff.nodes_visited
+
+
+class TestFastPathParity:
+    """The closed-form RLE fast path must match the exact heap walk on every
+    tree it claims (static family, U-only tasks) and fall back otherwise."""
+
+    @staticmethod
+    def _both(sec, n_threads, schedule, burden=1.0):
+        fast = FastForwardEmulator(ZERO_OH)
+        exact = FastForwardEmulator(ZERO_OH, fast_path=False)
+        a = fast.emulate_section(sec, n_threads, schedule, burden=burden)
+        b = exact.emulate_section(sec, n_threads, schedule, burden=burden)
+        return fast, a, b
+
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_exact_walk(self, data):
+        """Random compressed runs x {static, static,c, dynamic} x 1-12
+        threads: fast-path result within 1e-9 relative of the heap walk."""
+        root = Node(NodeKind.ROOT)
+        sec = root.add(Node(NodeKind.SEC, name="s"))
+        for _ in range(data.draw(st.integers(1, 6), label="runs")):
+            task = sec.add(
+                Node(NodeKind.TASK, repeat=data.draw(st.integers(1, 50)))
+            )
+            for _ in range(data.draw(st.integers(1, 3), label="leaves")):
+                task.add(
+                    Node(
+                        NodeKind.U,
+                        length=data.draw(lengths),
+                        repeat=data.draw(st.integers(1, 4)),
+                    )
+                )
+        schedule = data.draw(
+            st.sampled_from(
+                [Schedule.static(), Schedule.dynamic(1)]
+                + [Schedule.static_chunk(c) for c in (1, 2, 3, 7)]
+            ),
+            label="schedule",
+        )
+        n_threads = data.draw(st.integers(1, 12), label="threads")
+        burden = data.draw(st.sampled_from([1.0, 1.37]), label="burden")
+
+        fast, a, b = self._both(sec, n_threads, schedule, burden)
+        assert a == pytest.approx(b, rel=1e-9)
+        if not schedule.is_dynamic_family:
+            assert fast.fast_path_hits == 1
+
+    def test_overheads_included(self):
+        # Fork/dispatch/join charging matches the exact walk too.
+        sec = Node(NodeKind.SEC, name="s")
+        Node(NodeKind.ROOT).add(sec)
+        task = sec.add(Node(NodeKind.TASK, repeat=23))
+        task.add(Node(NodeKind.U, length=1500.0))
+        oh = RuntimeOverheads()
+        for sched in (Schedule.static(), Schedule.static_chunk(3)):
+            for t in (1, 4, 6):
+                fast = FastForwardEmulator(oh)
+                exact = FastForwardEmulator(oh, fast_path=False)
+                a = fast.emulate_section(sec, t, sched)
+                b = exact.emulate_section(sec, t, sched)
+                assert a == pytest.approx(b, rel=1e-9)
+                assert fast.fast_path_hits == 1
+
+    def test_lock_falls_back(self):
+        def program(tr):
+            with tr.section("s"):
+                for _ in range(4):
+                    with tr.task():
+                        with tr.lock(1):
+                            tr.compute(10_000)
+
+        profile = profile_of(program)
+        ff = FastForwardEmulator(ZERO_OH)
+        time, _ = ff.emulate_profile(profile.tree, 4, Schedule.static_chunk(1))
+        assert ff.fast_path_misses >= 1 and ff.fast_path_hits == 0
+        assert time == pytest.approx(40_000.0, rel=0.01)
+
+    def test_nested_section_falls_back(self):
+        def program(tr):
+            with tr.section("outer"):
+                for _ in range(2):
+                    with tr.task():
+                        with tr.section("inner"):
+                            with tr.task():
+                                tr.compute(5_000)
+
+        profile = profile_of(program)
+        ff = FastForwardEmulator(ZERO_OH)
+        exact = FastForwardEmulator(ZERO_OH, fast_path=False)
+        a, _ = ff.emulate_profile(profile.tree, 4, Schedule.static())
+        b, _ = exact.emulate_profile(profile.tree, 4, Schedule.static())
+        assert a == b
+        assert ff.fast_path_misses >= 1
+
+    def test_disabled_takes_no_fast_path(self):
+        profile = balanced_loop(16)
+        ff = FastForwardEmulator(ZERO_OH, fast_path=False)
+        ff.emulate_profile(profile.tree, 4, Schedule.static())
+        assert ff.fast_path_hits == 0 and ff.fast_path_misses == 0
+
+    def test_more_threads_than_chunks(self):
+        # Threads beyond the chunk count contribute fork time only.
+        sec = Node(NodeKind.SEC, name="s")
+        Node(NodeKind.ROOT).add(sec)
+        task = sec.add(Node(NodeKind.TASK, repeat=3))
+        task.add(Node(NodeKind.U, length=1000.0))
+        fast, a, b = self._both(sec, 8, Schedule.static_chunk(2))
+        assert a == pytest.approx(b, rel=1e-9)
+        assert fast.fast_path_hits == 1
 
 
 class TestCompressedTrees:
