@@ -16,6 +16,15 @@ Commands
     Batch-predict a full (workload × schedule × threads) grid, optionally
     fanned out over worker processes (``--jobs``); deterministic regardless
     of the worker count.
+``trace``
+    Replay a workload with the structured tracer enabled and export the
+    simulated timeline as Chrome-trace/Perfetto JSON (one track per
+    simulated core plus per-thread state tracks); open the file at
+    https://ui.perfetto.dev.
+
+``predict`` and ``sweep`` accept ``--metrics`` to print the process-wide
+metrics registry (FF fast-path decisions, DRAM solves, preemptions, ...)
+after the run.
 
 Examples::
 
@@ -24,6 +33,7 @@ Examples::
     python -m repro profile ompscr_lu -o lu.json
     python -m repro predict lu.json --schedules static,1 --no-real
     python -m repro sweep npb_ft,npb_cg --jobs 4 --methods ff,syn,real
+    python -m repro trace npb_ft --threads 4 --out ft-trace.json
 """
 
 from __future__ import annotations
@@ -36,12 +46,19 @@ from typing import Optional, Sequence
 from repro import ParallelProphet
 from repro.core.report import error_ratio
 from repro.core.serialize import load_profile, save_profile
+from repro.obs import get_metrics
 from repro.simhw.machine import MachineConfig
 from repro.workloads import get_workload, workload_names
 
 
 def _parse_threads(text: str) -> list[int]:
     return [int(t) for t in text.split(",") if t.strip()]
+
+
+def _maybe_print_metrics(args: argparse.Namespace) -> None:
+    if getattr(args, "metrics", False):
+        print("\nmetrics:")
+        print(get_metrics().render())
 
 
 def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
@@ -85,6 +102,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_predict(args: argparse.Namespace) -> int:
     """``predict``: run the emulators and (optionally) the ground truth."""
+    if args.metrics:
+        get_metrics().reset()
     machine = _machine_from_args(args)
     prophet = ParallelProphet(machine=machine)
     threads = _parse_threads(args.threads)
@@ -127,6 +146,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 p = candidates[0].speedup
                 print(f"  {t:2d} threads: real {r:5.2f}x, predicted {p:5.2f}x "
                       f"(error {error_ratio(p, r):.1%})")
+    _maybe_print_metrics(args)
     return 0
 
 
@@ -164,6 +184,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """``sweep``: batch-predict a grid of workloads, schedules, threads."""
     from repro.core.batch import BatchPredictor
 
+    if args.metrics:
+        get_metrics().reset()
     machine = _machine_from_args(args)
     prophet = ParallelProphet(machine=machine)
     threads = _parse_threads(args.threads)
@@ -202,6 +224,64 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text("# Sweep report\n\n" + "\n".join(sections))
         print(f"\nwrote {args.output}")
+    _maybe_print_metrics(args)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: replay a workload with tracing on; export Perfetto JSON."""
+    from repro.core.executor import ParallelExecutor, ReplayMode
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.runtime.tasks import Schedule
+
+    machine = _machine_from_args(args)
+    prophet = ParallelProphet(machine=machine)
+
+    target = args.target
+    if Path(target).suffix == ".json" and Path(target).exists():
+        profile = load_profile(target)
+        paradigm = args.paradigm or "omp"
+        schedule = Schedule.parse(args.schedule)
+        label = target
+    else:
+        wl = get_workload(target)
+        profile = prophet.profile(wl.program)
+        paradigm = args.paradigm or wl.paradigm
+        schedule = Schedule.parse(
+            args.schedule if args.schedule != "static" else wl.schedule
+        )
+        label = f"{wl.name} ({wl.input_label})"
+
+    tracer = Tracer(capacity=args.buffer, enabled=True)
+    mode = ReplayMode.REAL if args.mode == "real" else ReplayMode.FAKE
+    burdens = {}
+    if mode is ReplayMode.FAKE:
+        prophet.attach_burdens(profile, [args.threads])
+        burdens = {
+            name: profile.burden_for(name, args.threads)
+            for name in profile.sections
+        }
+    executor = ParallelExecutor(
+        machine=machine,
+        paradigm=paradigm,
+        schedule=schedule,
+        overheads=prophet.overheads,
+        tracer=tracer,
+    )
+    result = executor.execute_profile(
+        profile.tree, args.threads, mode=mode, burdens=burdens
+    )
+    write_chrome_trace(tracer.events(), args.out, freq_ghz=machine.freq_ghz)
+    print(
+        f"traced {label}: {args.threads} threads, mode={args.mode}, "
+        f"{result.total_cycles / 1e6:.2f} Mcycles simulated"
+    )
+    print(f"wrote {len(tracer)} events to {args.out} (open in ui.perfetto.dev)")
+    if tracer.dropped:
+        print(
+            f"warning: ring buffer overflowed, {tracer.dropped} oldest "
+            f"event(s) dropped — rerun with --buffer {2 * args.buffer}"
+        )
     return 0
 
 
@@ -255,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument(
         "--no-real", action="store_true", help="skip the ground-truth replay"
     )
+    p_predict.add_argument(
+        "--metrics", action="store_true",
+        help="print the process-wide metrics registry after predicting",
+    )
     _add_machine_args(p_predict)
     p_predict.set_defaults(func=cmd_predict)
 
@@ -296,8 +380,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-memory-model", action="store_true", help="disable burden factors"
     )
     p_sweep.add_argument("-o", "--output", help="write a markdown report here")
+    p_sweep.add_argument(
+        "--metrics", action="store_true",
+        help="print the merged (parent + workers) metrics after the sweep",
+    )
     _add_machine_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a replay timeline as Chrome-trace/Perfetto JSON",
+    )
+    p_trace.add_argument(
+        "target", help="workload name or saved profile .json path"
+    )
+    p_trace.add_argument(
+        "--threads", type=int, default=4, help="thread count to replay at"
+    )
+    p_trace.add_argument("--schedule", default="static")
+    p_trace.add_argument(
+        "--mode", choices=("real", "syn"), default="real",
+        help="real = ground-truth replay; syn = synthesizer fake-delay replay",
+    )
+    p_trace.add_argument("--paradigm", choices=("omp", "cilk", "omp_task"))
+    p_trace.add_argument(
+        "--out", default="trace.json", help="output path (default trace.json)"
+    )
+    p_trace.add_argument(
+        "--buffer", type=int, default=1 << 18,
+        help="tracer ring-buffer capacity in events (default 262144)",
+    )
+    _add_machine_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cal = sub.add_parser("calibrate", help="print fitted Psi/Phi formulas")
     p_cal.add_argument("--threads", default="2,4,8,12")

@@ -45,12 +45,35 @@ from repro.core.ffemu import FastForwardEmulator
 from repro.core.profiler import ProgramProfile
 from repro.core.report import SpeedupEstimate, SpeedupReport
 from repro.core.synthesizer import Synthesizer
-from repro.errors import ConfigurationError
+from repro.errors import BatchError, ConfigurationError
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import RuntimeOverheads
 from repro.runtime.tasks import Schedule
 
 #: Prediction methods a sweep task may request.
 SWEEP_METHODS = ("ff", "syn", "real")
+
+
+@dataclass(frozen=True)
+class SweepTaskFailure:
+    """Structured record of one failed grid point.
+
+    Produced inside the worker (the exception itself may not survive
+    pickling, so only its type name and message cross the process
+    boundary) and merged into grid order with the successful results.
+    """
+
+    workload: str
+    schedule: str
+    n_threads: int
+    error: str  # exception class name, e.g. "ConfigurationError"
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload}/{self.schedule}/t={self.n_threads}: "
+            f"{self.error}: {self.message}"
+        )
 
 
 @dataclass(frozen=True)
@@ -153,18 +176,53 @@ def _run_taskset(
     profile: ProgramProfile,
     overheads: RuntimeOverheads,
     indexed_tasks: Sequence[tuple[int, SweepTask]],
-) -> list[tuple[int, list[SpeedupEstimate]]]:
+    collect_metrics: bool = False,
+) -> tuple[
+    list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]],
+    Optional[dict],
+]:
     """Worker entry point: evaluate a chunk of one workload's grid points.
 
     One FF emulator instance is shared across the chunk (it is stateless
     between ``emulate_profile`` calls), so repeated grid points amortise
     its setup the same way the facade's hoisted loop does.
+
+    A failing task yields a :class:`SweepTaskFailure` in its grid slot
+    instead of poisoning the whole chunk: the remaining tasks still run,
+    and the parent's index-sorted merge stays deterministic.
+
+    With ``collect_metrics=True`` (the process-pool path) the worker's
+    process-wide metrics registry is reset at chunk start and its snapshot
+    returned alongside the results, so the parent can fold worker-side
+    counters (FF fast-path decisions, DRAM solves, ...) into its own
+    registry.  The in-process path passes ``False``: increments land on
+    the parent registry directly and must not be double-counted.
     """
+    metrics = get_metrics()
+    if collect_metrics:
+        metrics.reset()
     ff = FastForwardEmulator(overheads)
-    return [
-        (index, _predict_point(profile, overheads, task, ff))
-        for index, task in indexed_tasks
-    ]
+    results: list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]] = []
+    for index, task in indexed_tasks:
+        try:
+            results.append(
+                (index, _predict_point(profile, overheads, task, ff))
+            )
+        except Exception as exc:
+            metrics.inc("batch.task.errors")
+            results.append(
+                (
+                    index,
+                    SweepTaskFailure(
+                        workload=task.workload,
+                        schedule=task.schedule,
+                        n_threads=task.n_threads,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                    ),
+                )
+            )
+    return results, (metrics.snapshot() if collect_metrics else None)
 
 
 class BatchPredictor:
@@ -204,21 +262,35 @@ class BatchPredictor:
         methods: Sequence[str] = ("syn",),
         paradigm: str = "omp",
         memory_model: bool = True,
+        on_error: str = "raise",
     ) -> dict[str, SpeedupReport]:
         """Evaluate the full (workload × schedule × threads) grid.
 
         Returns one :class:`SpeedupReport` per workload with estimates in
         grid order (schedules outer, threads inner — the same order
         :meth:`ParallelProphet.predict` emits).
+
+        ``on_error="raise"`` raises :class:`repro.errors.BatchError` if any
+        grid point failed; ``on_error="collect"`` instead attaches the
+        :class:`SweepTaskFailure` records to ``report.failures`` of the
+        affected workload and keeps the successful estimates.
         """
         if isinstance(profiles, ProgramProfile):
             profiles = {"workload": profiles}
         else:
             profiles = dict(profiles)
-        labels = [
-            s.label if isinstance(s, Schedule) else Schedule.parse(s).label
-            for s in schedules
-        ]
+        labels = []
+        for s in schedules:
+            if isinstance(s, Schedule):
+                labels.append(s.label)
+                continue
+            try:
+                labels.append(Schedule.parse(s).label)
+            except ConfigurationError:
+                # Defer to the per-task path: the worker fails this grid
+                # point with a structured SweepTaskFailure, so on_error
+                # governs unparsable schedules like any other task error.
+                labels.append(s)
         tasks = [
             SweepTask(
                 workload=name,
@@ -233,21 +305,36 @@ class BatchPredictor:
             for t in threads
         ]
         reports = {name: SpeedupReport() for name in profiles}
-        for task, estimates in self.run(tasks, profiles):
-            reports[task.workload].extend(estimates)
+        for task, outcome in self.run(tasks, profiles, on_error=on_error):
+            if isinstance(outcome, SweepTaskFailure):
+                reports[task.workload].failures.append(outcome)
+            else:
+                reports[task.workload].extend(outcome)
         return reports
 
     def run(
         self,
         tasks: Sequence[SweepTask],
         profiles: Mapping[str, ProgramProfile],
-    ) -> list[tuple[SweepTask, list[SpeedupEstimate]]]:
+        on_error: str = "raise",
+    ) -> list[tuple[SweepTask, Union[list[SpeedupEstimate], SweepTaskFailure]]]:
         """Evaluate an explicit task list; results come back in task order.
 
         This is the engine under :meth:`sweep` for grids that are not plain
         cross products (e.g. a different schedule per sample, or ground
         truth only at selected thread counts).
+
+        A failing grid point never poisons its chunk or the merge: workers
+        substitute a :class:`SweepTaskFailure` in the task's grid slot and
+        keep going.  With ``on_error="raise"`` (default) a
+        :class:`repro.errors.BatchError` carrying every failure is raised
+        *after* the full merge; ``on_error="collect"`` returns the failure
+        records in-place so callers can inspect partial results.
         """
+        if on_error not in ("raise", "collect"):
+            raise ConfigurationError(
+                f'on_error must be "raise" or "collect", got {on_error!r}'
+            )
         for task in tasks:
             if task.workload not in profiles:
                 raise ConfigurationError(
@@ -262,27 +349,80 @@ class BatchPredictor:
 
         jobs = min(self.jobs, len(tasks)) if tasks else 1
         overheads = self.prophet.overheads
-        gathered: list[tuple[int, list[SpeedupEstimate]]] = []
+        obs = get_tracer()
+        metrics = get_metrics()
+        gathered: list[
+            tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]
+        ] = []
         if jobs <= 1:
+            # In-process: metric increments land on this registry directly,
+            # so the worker must not reset/snapshot it.
             for name, items in by_workload.items():
-                gathered.extend(_run_taskset(profiles[name], overheads, items))
+                results, _ = _run_taskset(profiles[name], overheads, items)
+                gathered.extend(results)
         else:
             chunk = max(1, math.ceil(len(tasks) / (jobs * self.chunks_per_job)))
+            chunks = [
+                (name, items[pos : pos + chunk])
+                for name, items in by_workload.items()
+                for pos in range(0, len(items), chunk)
+            ]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(
-                        _run_taskset,
-                        profiles[name],
-                        overheads,
-                        items[pos : pos + chunk],
+                futures = []
+                for name, chunk_items in chunks:
+                    if obs.enabled:
+                        # The batch track is indexed by grid position, not
+                        # sim time: each chunk dispatch marks its first slot.
+                        obs.instant(
+                            "chunk_dispatch",
+                            ts=float(chunk_items[0][0]),
+                            track="batch",
+                            cat="batch",
+                            args={"workload": name, "size": len(chunk_items)},
+                        )
+                    futures.append(
+                        pool.submit(
+                            _run_taskset,
+                            profiles[name],
+                            overheads,
+                            chunk_items,
+                            True,
+                        )
                     )
-                    for name, items in by_workload.items()
-                    for pos in range(0, len(items), chunk)
-                ]
+                # Merge worker metric snapshots in *submission* order —
+                # counter merges are commutative sums, so the combined
+                # registry is identical however the workers raced.
                 for future in futures:
-                    gathered.extend(future.result())
+                    results, snapshot = future.result()
+                    gathered.extend(results)
+                    if snapshot is not None:
+                        metrics.merge(snapshot)
         gathered.sort(key=lambda pair: pair[0])
-        return [(tasks[index], estimates) for index, estimates in gathered]
+        metrics.inc("batch.tasks", float(len(tasks)))
+
+        failures = []
+        for index, outcome in gathered:
+            if isinstance(outcome, SweepTaskFailure):
+                failures.append(outcome)
+                if obs.enabled:
+                    obs.instant(
+                        "task_error",
+                        ts=float(index),
+                        track="batch",
+                        cat="batch",
+                        args={"task": str(outcome)},
+                    )
+            elif obs.enabled:
+                obs.instant(
+                    "task_complete",
+                    ts=float(index),
+                    track="batch",
+                    cat="batch",
+                    args={"workload": tasks[index].workload},
+                )
+        if failures and on_error == "raise":
+            raise BatchError(failures)
+        return [(tasks[index], outcome) for index, outcome in gathered]
 
     # ------------------------------------------------------------- internals
 
@@ -319,6 +459,7 @@ def sweep(
     memory_model: bool = True,
     jobs: Optional[int] = None,
     prophet=None,
+    on_error: str = "raise",
 ) -> dict[str, SpeedupReport]:
     """Module-level convenience wrapper around :meth:`BatchPredictor.sweep`."""
     return BatchPredictor(prophet, jobs=jobs).sweep(
@@ -328,4 +469,5 @@ def sweep(
         methods=methods,
         paradigm=paradigm,
         memory_model=memory_model,
+        on_error=on_error,
     )

@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Mapping, Optional
 
 from repro.core.tree import Node, NodeKind, ProgramTree
 from repro.errors import EmulationError
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.cilk import CilkContext, CilkPool
 from repro.runtime.openmp import OmpRuntime
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
@@ -126,6 +127,7 @@ class ParallelExecutor:
         paradigm: str = "omp",
         schedule: Schedule = Schedule.static(),
         overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+        tracer=None,
     ) -> None:
         if paradigm not in ("omp", "cilk", "omp_task"):
             raise EmulationError(f"unknown paradigm {paradigm!r}")
@@ -133,6 +135,26 @@ class ParallelExecutor:
         self.paradigm = paradigm
         self.schedule = schedule
         self.overheads = overheads
+        #: Tracer handed to every kernel this executor constructs; the
+        #: executor advances ``obs.offset`` between top-level sections so
+        #: all per-section kernel runs land on one program-wide timeline.
+        self.obs = tracer if tracer is not None else get_tracer()
+
+    def _bridge_kernel_metrics(self, kernel: SimKernel) -> None:
+        """Fold one finished kernel run's counters into the process-wide
+        metrics registry.  The DRAM memo hit/miss counters are read here
+        (once per section) instead of incrementing the registry inside the
+        per-timeslice solve path, keeping the hot loop free of dict lookups.
+        """
+        m = get_metrics()
+        m.inc("replay.sections")
+        if kernel.preemptions:
+            m.inc("sim.preemptions", kernel.preemptions)
+        stats = kernel.dram_cache_stats()
+        if stats["hits"]:
+            m.inc("dram.solve.hits", stats["hits"])
+        if stats["misses"]:
+            m.inc("dram.solve.misses", stats["misses"])
 
     # ----------------------------------------------------------------- API
 
@@ -156,25 +178,54 @@ class ParallelExecutor:
         # node (dictionary-shared activations, compressed repeats) always
         # yields the same result — memoise per node object.
         cache: dict[int, SectionRun] = {}
-        for item in self._group_chains(tree.root.children):
-            if isinstance(item, Node):
-                if item.kind is NodeKind.U:
-                    total += item.length * item.repeat
-                    continue
-                beta = (
-                    burdens.get(item.name, 1.0) if mode is ReplayMode.FAKE else 1.0
-                )
-                run = cache.get(id(item))
-                if run is None:
-                    run = self.execute_section(item, n_threads, mode, burden=beta)
-                    cache[id(item)] = run
-                sections.extend([run] * item.repeat)
-                total += run.net_cycles * item.repeat
-            else:
-                # A nowait chain: one team runs the loops back to back.
-                run = self.execute_chain(item, n_threads, mode, burdens)
-                sections.append(run)
-                total += run.net_cycles
+        traced = self.obs.enabled
+        # Sim-time origin of this program on the shared trace timeline.
+        # Each per-section kernel starts its local clock at zero; advancing
+        # ``obs.offset`` to the program-relative start of the section before
+        # constructing its kernel stitches the runs end to end.
+        origin = self.obs.offset
+        try:
+            for item in self._group_chains(tree.root.children):
+                self.obs.offset = origin + total
+                t0 = total
+                if isinstance(item, Node):
+                    if item.kind is NodeKind.U:
+                        total += item.length * item.repeat
+                        continue
+                    beta = (
+                        burdens.get(item.name, 1.0)
+                        if mode is ReplayMode.FAKE
+                        else 1.0
+                    )
+                    run = cache.get(id(item))
+                    if run is None:
+                        run = self.execute_section(
+                            item, n_threads, mode, burden=beta
+                        )
+                        cache[id(item)] = run
+                    else:
+                        get_metrics().inc("replay.section_cache.hits")
+                    sections.extend([run] * item.repeat)
+                    total += run.net_cycles * item.repeat
+                else:
+                    # A nowait chain: one team runs the loops back to back.
+                    run = self.execute_chain(item, n_threads, mode, burdens)
+                    sections.append(run)
+                    total += run.net_cycles
+                if traced:
+                    self.obs.span(
+                        run.name,
+                        ts=origin + t0,
+                        dur=total - t0,
+                        track="sections",
+                        cat="replay",
+                        args={
+                            "mode": mode.value,
+                            "preemptions": run.preemptions,
+                        },
+                    )
+        finally:
+            self.obs.offset = origin
         return ReplayResult(
             total_cycles=total,
             serial_cycles=tree.serial_cycles(),
@@ -200,7 +251,7 @@ class ParallelExecutor:
         """Execute a nowait chain of sections as one OpenMP parallel region
         with several worksharing loops (PAR_SEC_END(nowait) semantics)."""
         burdens = burdens or {}
-        kernel = SimKernel(self.machine)
+        kernel = SimKernel(self.machine, tracer=self.obs)
         locks: dict[int, SimMutex] = {}
         ohmgr = _OverheadManager()
         omp = OmpRuntime(kernel, self.overheads)
@@ -216,6 +267,7 @@ class ParallelExecutor:
 
         kernel.spawn(master(), name="replay-master")
         gross = kernel.run()
+        self._bridge_kernel_metrics(kernel)
         return SectionRun(
             name="+".join(sec.name for sec in secs),
             gross_cycles=gross,
@@ -239,7 +291,7 @@ class ParallelExecutor:
         """
         if sec.kind is not NodeKind.SEC:
             raise EmulationError(f"execute_section needs a SEC node, got {sec.kind}")
-        kernel = SimKernel(self.machine)
+        kernel = SimKernel(self.machine, tracer=self.obs)
         locks: dict[int, SimMutex] = {}
         ohmgr = _OverheadManager()
         steals = 0
@@ -261,6 +313,7 @@ class ParallelExecutor:
 
             kernel.spawn(master(), name="replay-master")
             gross = kernel.run()
+            self._bridge_kernel_metrics(kernel)
             return SectionRun(
                 name=sec.name,
                 gross_cycles=gross,
@@ -320,6 +373,7 @@ class ParallelExecutor:
             kernel.spawn(master(), name="replay-master")
             gross = kernel.run()
 
+        self._bridge_kernel_metrics(kernel)
         return SectionRun(
             name=sec.name,
             gross_cycles=gross,

@@ -34,6 +34,7 @@ from typing import Deque, Mapping, Optional
 
 from repro.core.tree import Node, NodeKind, ProgramTree
 from repro.errors import EmulationError
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
 from repro.runtime.tasks import Schedule, ScheduleKind
 
@@ -102,6 +103,7 @@ class FastForwardEmulator:
         overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
         max_steps: int = 50_000_000,
         fast_path: bool = True,
+        tracer=None,
     ) -> None:
         self.overheads = overheads
         self.max_steps = max_steps
@@ -111,15 +113,32 @@ class FastForwardEmulator:
         #: The fast path agrees with the heap walk up to float summation
         #: order (<= 1e-9 relative); set False to force the exact walk.
         self.fast_path = fast_path
+        #: Structured event tracer (defaults to the process-global one).
+        self.obs = tracer if tracer is not None else get_tracer()
         #: Tree-node visits performed by the last emulate_profile call — the
         #: FF's dominant cost (the paper reports 30×+ slowdowns on FFT from
         #: exactly this traversal plus heap pressure).
         self.nodes_visited = 0
-        #: Sections predicted in closed form / forced onto the exact walk.
+        #: Sections predicted in closed form / forced onto the exact walk
+        #: since the last :meth:`reset_counters`.  Instances are shared
+        #: across grid points (the facade and the batch engine hoist one
+        #: emulator per worker), so these are *per-emulation* scratch
+        #: counters — :meth:`emulate_profile` resets them on entry.  The
+        #: cumulative, cross-run totals live on the process-wide metrics
+        #: registry (``ff.fast_path.hits`` / ``ff.fast_path.misses``).
         self.fast_path_hits = 0
         self.fast_path_misses = 0
 
     # ----------------------------------------------------------------- API
+
+    def reset_counters(self) -> None:
+        """Zero the per-emulation counters (``nodes_visited``, fast-path
+        hit/miss).  Called automatically by :meth:`emulate_profile`; callers
+        driving :meth:`emulate_section` directly should call it between
+        logical runs so counts never leak across workloads."""
+        self.nodes_visited = 0
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
 
     def emulate_profile(
         self,
@@ -130,9 +149,7 @@ class FastForwardEmulator:
     ) -> tuple[float, list[FFSectionResult]]:
         """Predicted whole-program parallel time plus per-section results."""
         burdens = burdens or {}
-        self.nodes_visited = 0
-        self.fast_path_hits = 0
-        self.fast_path_misses = 0
+        self.reset_counters()
         total = 0.0
         results: list[FFSectionResult] = []
         # Emulation is deterministic: dictionary-shared section nodes give
@@ -140,7 +157,10 @@ class FastForwardEmulator:
         cache: dict[tuple[int, float], float] = {}
         from repro.core.tree import group_nowait_chains
 
+        traced = self.obs.enabled
         for item in group_nowait_chains(tree.root.children):
+            t0 = total
+            hits0, misses0 = self.fast_path_hits, self.fast_path_misses
             if isinstance(item, list):
                 cycles = self.emulate_chain(
                     item, n_threads, schedule, burdens, cache=cache
@@ -155,6 +175,7 @@ class FastForwardEmulator:
                 )
             elif item.kind is NodeKind.U:
                 total += item.length * item.repeat
+                continue
             elif item.kind is NodeKind.SEC:
                 beta = burdens.get(item.name, 1.0)
                 cycles = cache.get((id(item), beta))
@@ -171,6 +192,24 @@ class FastForwardEmulator:
                 )
             else:  # pragma: no cover - validated trees
                 raise EmulationError(f"unexpected top-level node {item!r}")
+            if traced:
+                # One span per top-level section on the predicted timeline,
+                # tagged with the fast-path-vs-heap-walk decision.
+                self.obs.span(
+                    results[-1].name,
+                    ts=t0,
+                    dur=total - t0,
+                    track="ff",
+                    cat="ff",
+                    args={
+                        "fast_path": self.fast_path_hits > hits0,
+                        "heap_walk": self.fast_path_misses > misses0,
+                        "threads": n_threads,
+                        "schedule": schedule.label,
+                    },
+                )
+        get_metrics().inc("ff.emulations")
+        get_metrics().inc("ff.nodes_visited", self.nodes_visited)
         return total, results
 
     def emulate_section(
@@ -195,8 +234,10 @@ class FastForwardEmulator:
             cycles = self._closed_form(sec, n_threads, schedule, burden)
             if cycles is not None:
                 self.fast_path_hits += 1
+                get_metrics().inc("ff.fast_path.hits")
                 return cycles
             self.fast_path_misses += 1
+            get_metrics().inc("ff.fast_path.misses")
         engine = _Engine(self, n_threads, schedule, burden)
         end = engine.run(sec)
         self.nodes_visited += engine.nodes_visited

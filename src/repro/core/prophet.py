@@ -31,6 +31,7 @@ from repro.core.profiler import IntervalProfiler, ProgramProfile
 from repro.core.report import SpeedupEstimate, SpeedupReport
 from repro.core.synthesizer import Synthesizer
 from repro.errors import ConfigurationError
+from repro.obs import get_tracer
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
 from repro.runtime.tasks import Schedule
 from repro.simhw.machine import WESTMERE_12, MachineConfig
@@ -46,9 +47,12 @@ class ParallelProphet:
         compress: bool = True,
         compression_tolerance: float = 0.05,
         overhead_subtraction_accuracy: float = 1.0,
+        tracer=None,
     ) -> None:
         self.machine = machine
         self.overheads = overheads
+        #: Tracer forwarded to every emulator/executor this facade builds.
+        self.obs = tracer if tracer is not None else get_tracer()
         self.profiler = IntervalProfiler(
             machine,
             compress=compress,
@@ -133,11 +137,18 @@ class ParallelProphet:
             )
             for t in threads
         }
-        ff = FastForwardEmulator(self.overheads) if "ff" in methods else None
+        ff = (
+            FastForwardEmulator(self.overheads, tracer=self.obs)
+            if "ff" in methods
+            else None
+        )
         for schedule in scheds:
             syn = (
                 Synthesizer(
-                    paradigm=paradigm, schedule=schedule, overheads=self.overheads
+                    paradigm=paradigm,
+                    schedule=schedule,
+                    overheads=self.overheads,
+                    tracer=self.obs,
                 )
                 if "syn" in methods
                 else None
@@ -180,6 +191,7 @@ class ParallelProphet:
             paradigm=paradigm,
             schedule=sched,
             overheads=self.overheads,
+            tracer=self.obs,
         )
         report = SpeedupReport()
         for t in threads:

@@ -30,6 +30,9 @@ class SpeedupReport:
 
     def __init__(self, estimates: Optional[Iterable[SpeedupEstimate]] = None) -> None:
         self.estimates: list[SpeedupEstimate] = list(estimates or [])
+        #: Structured per-grid-point failures attached by batch sweeps run
+        #: with ``on_error="collect"`` (:class:`repro.core.batch.SweepTaskFailure`).
+        self.failures: list = []
 
     def add(self, estimate: SpeedupEstimate) -> None:
         """Append one estimate."""
@@ -97,6 +100,11 @@ class SpeedupReport:
                 f"{by_t[t]:>7.2f}" if t in by_t else f"{'-':>7}" for t in threads
             )
             lines.append(f"{label:<10} {paradigm:<8} {schedule:<10} {cells}")
+        if self.failures:
+            lines.append(
+                f"({len(self.failures)} grid point(s) failed; "
+                "see report.failures)"
+            )
         return "\n".join(lines)
 
     def to_markdown(self) -> str:

@@ -14,6 +14,7 @@ shared nodes nor changes any measurement.
 from __future__ import annotations
 
 import json
+from dataclasses import fields
 from pathlib import Path
 from typing import Any, Union
 
@@ -100,17 +101,13 @@ def profile_to_dict(profile: ProgramProfile) -> dict[str, Any]:
     """Serialise a whole profile (tree, counters, machine, burdens)."""
     return {
         "format_version": FORMAT_VERSION,
+        # Enumerate dataclass fields instead of hand-listing them: a
+        # hand-written dict silently dropped fields added after the seed
+        # (n_sockets, context_switch_cycles, dram_solve_cache), so NUMA
+        # and context-switch configs lost those knobs on round-trip.
         "machine": {
-            "n_cores": profile.machine.n_cores,
-            "freq_ghz": profile.machine.freq_ghz,
-            "line_size": profile.machine.line_size,
-            "llc_bytes": profile.machine.llc_bytes,
-            "llc_assoc": profile.machine.llc_assoc,
-            "base_miss_stall": profile.machine.base_miss_stall,
-            "dram_peak_gbs": profile.machine.dram_peak_gbs,
-            "dram_queue_gain": profile.machine.dram_queue_gain,
-            "timeslice_cycles": profile.machine.timeslice_cycles,
-            "tracer_overhead_cycles": profile.machine.tracer_overhead_cycles,
+            f.name: getattr(profile.machine, f.name)
+            for f in fields(MachineConfig)
         },
         "tree": tree_to_dict(profile.tree),
         "sections": {

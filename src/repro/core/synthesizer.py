@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.executor import ParallelExecutor, ReplayMode, ReplayResult
 from repro.core.profiler import ProgramProfile
 from repro.core.report import SpeedupEstimate
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
 from repro.runtime.tasks import Schedule
 
@@ -54,10 +55,14 @@ class Synthesizer:
         paradigm: str = "omp",
         schedule: Schedule = Schedule.static(),
         overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
+        tracer=None,
     ) -> None:
         self.paradigm = paradigm
         self.schedule = schedule
         self.overheads = overheads
+        #: Forwarded to the replay executor so SYN replay events land on
+        #: the caller's trace timeline.
+        self.obs = tracer if tracer is not None else get_tracer()
 
     def predict(
         self,
@@ -72,11 +77,13 @@ class Synthesizer:
         scale every fake delay in their section; otherwise β = 1 everywhere
         (the paper's 'Pred' vs 'PredM' distinction in Fig. 12).
         """
+        get_metrics().inc("syn.replays")
         executor = ParallelExecutor(
             machine=profile.machine,
             paradigm=self.paradigm,
             schedule=self.schedule,
             overheads=self.overheads,
+            tracer=self.obs,
         )
         burdens = (
             {name: profile.burden_for(name, n_threads) for name in profile.sections}

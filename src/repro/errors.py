@@ -45,3 +45,25 @@ class CalibrationError(ReproError):
 class EmulationError(ReproError):
     """An emulator (fast-forward or synthesizer) encountered a program tree
     it cannot emulate, e.g. an unknown node kind or an unsupported paradigm."""
+
+
+class BatchError(ReproError):
+    """One or more grid points of a batch sweep failed.
+
+    Raised by :meth:`repro.core.batch.BatchPredictor.run` (with
+    ``on_error="raise"``) *after* the full deterministic merge, so every
+    per-task failure is available on :attr:`failures` — a list of
+    :class:`repro.core.batch.SweepTaskFailure` records in grid order.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        shown = ", ".join(
+            f"{f.workload}/{f.schedule}/t={f.n_threads}: {f.message}"
+            for f in self.failures[:3]
+        )
+        if len(self.failures) > 3:
+            shown += f", ... ({len(self.failures) - 3} more)"
+        super().__init__(
+            f"{len(self.failures)} sweep task(s) failed: {shown}"
+        )

@@ -1,0 +1,124 @@
+"""Timeline export in Chrome Trace Event Format (Perfetto-compatible).
+
+:func:`to_chrome_trace` converts tracer events into the JSON object format
+documented by the Trace Event Format spec and accepted verbatim by
+``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents`` array
+of ``ph``-tagged records plus ``M``-phase metadata naming each track.
+
+Mapping
+-------
+- Every distinct tracer *track* becomes one Chrome "thread" (``tid``)
+  inside a single "process" (``pid`` 1).  Simulated CPU tracks (``cpu0``,
+  ``cpu1``, …) sort first, in numeric order, so the per-core execution
+  timeline — one row per simulated core, spans named after the simulated
+  thread that occupied the core — reads top-down like a Gantt chart.
+- Spans become ``"X"`` (complete) events, instants ``"i"``-scoped ``"I"``
+  events, counter samples ``"C"`` events.
+- Timestamps are converted from simulated cycles to microseconds with the
+  machine frequency (``freq_ghz``); without it, one cycle maps to one
+  microsecond, which preserves shape but not absolute scale.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, TraceEvent
+
+_CPU_TRACK = re.compile(r"^cpu(\d+)$")
+
+#: The single simulated-machine "process" all tracks belong to.
+_PID = 1
+
+
+def _track_sort_key(track: str) -> tuple:
+    m = _CPU_TRACK.match(track)
+    if m:
+        return (0, int(m.group(1)), track)
+    return (1, 0, track)
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    freq_ghz: Union[float, None] = None,
+    process_name: str = "repro-sim",
+) -> dict[str, Any]:
+    """Convert tracer events to a Chrome-trace JSON object (as a dict).
+
+    The output is deterministic for a given event sequence: tracks are
+    numbered in sorted order, events are emitted in (timestamp, arrival)
+    order, and all dict keys are plain strings — ``json.dumps(...,
+    sort_keys=True)`` of the result is byte-stable.
+    """
+    scale = 1.0 / (freq_ghz * 1e3) if freq_ghz else 1.0  # cycles -> us
+    events = list(events)
+    tracks = sorted({e.track for e in events}, key=_track_sort_key)
+    tids = {track: i for i, track in enumerate(tracks)}
+
+    records: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+        records.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[track],
+                "args": {"sort_index": tids[track]},
+            }
+        )
+
+    for _order, e in sorted(enumerate(events), key=lambda pair: (pair[1].ts, pair[0])):
+        record: dict[str, Any] = {
+            "name": e.name,
+            "cat": e.cat or "repro",
+            "ts": e.ts * scale,
+            "pid": _PID,
+            "tid": tids[e.track],
+        }
+        if e.kind == SPAN:
+            record["ph"] = "X"
+            record["dur"] = e.dur * scale
+        elif e.kind == INSTANT:
+            record["ph"] = "I"
+            record["s"] = "t"  # thread-scoped instant
+        elif e.kind == COUNTER:
+            record["ph"] = "C"
+        else:  # pragma: no cover - tracer only emits the three kinds
+            continue
+        if e.args:
+            record["args"] = dict(e.args)
+        records.append(record)
+
+    return {"traceEvents": records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent],
+    path: Union[str, Path],
+    freq_ghz: Union[float, None] = None,
+    process_name: str = "repro-sim",
+) -> dict[str, Any]:
+    """Write :func:`to_chrome_trace` output to ``path``; returns the dict."""
+    data = to_chrome_trace(events, freq_ghz=freq_ghz, process_name=process_name)
+    Path(path).write_text(json.dumps(data, sort_keys=True))
+    return data

@@ -1,0 +1,189 @@
+"""Ring-buffered structured event tracer stamped with simulated time.
+
+Every event carries a monotonic *simulated* timestamp in cycles (the DES
+kernel's clock, offset by :attr:`Tracer.offset` so consecutive kernel runs
+of one program land on a single timeline), a track name (``cpu3``,
+``thread:omp-w1``, ``ff``, ``batch``, …), a category, and an optional args
+mapping.  Events live in a bounded ring buffer (:class:`collections.deque`
+with ``maxlen``): a runaway emulation overwrites its oldest events instead
+of exhausting memory, and :attr:`Tracer.dropped` counts the overwritten
+ones so exports can warn about truncation.
+
+Overhead contract
+-----------------
+Instrumented code guards every emission with ``if tracer.enabled:`` — a
+single attribute load and branch when tracing is off.  The emission methods
+re-check ``enabled`` themselves so un-guarded call sites are still no-ops,
+but hot paths should guard to skip argument construction entirely.  The
+disabled-path cost is asserted <2 % of the Fig. 11 bench path by
+``benchmarks/bench_tracer_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Any, Mapping, Optional
+
+#: Event kinds, mirroring Chrome Trace Event Format phases:
+#: ``"X"`` complete span, ``"I"`` instant, ``"C"`` counter sample.
+SPAN = "X"
+INSTANT = "I"
+COUNTER = "C"
+
+#: Default ring capacity — large enough for a full small-workload replay,
+#: bounded enough that an always-on tracer cannot exhaust memory.
+DEFAULT_CAPACITY = 1 << 16
+
+
+class TraceEvent:
+    """One trace record.  Plain slotted object, cheap to allocate."""
+
+    __slots__ = ("kind", "name", "ts", "dur", "track", "cat", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        ts: float,
+        dur: float,
+        track: str,
+        cat: str,
+        args: Optional[Mapping[str, Any]],
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.cat = cat
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.kind!r}, {self.name!r}, ts={self.ts:.0f}, "
+            f"dur={self.dur:.0f}, track={self.track!r})"
+        )
+
+
+class Tracer:
+    """Bounded, always-constructible event sink.
+
+    Attributes
+    ----------
+    enabled:
+        The master switch.  Instrumentation guards on it; flipping it at
+        run time starts/stops collection immediately.
+    offset:
+        Sim-time origin (cycles) added to the local clock of the *next*
+        :class:`~repro.simos.kernel.SimKernel` constructed against this
+        tracer.  The replay executor advances it between top-level sections
+        so a whole program's kernel runs share one timeline.
+    dropped:
+        Events overwritten by the ring buffer since the last :meth:`clear`.
+    """
+
+    __slots__ = ("enabled", "capacity", "offset", "dropped", "_events")
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, enabled: bool = False
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.offset = 0.0
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    # ----------------------------------------------------------------- emit
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        track: str = "main",
+        cat: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """A complete span: ``name`` occupied ``track`` from ``ts`` for
+        ``dur`` simulated cycles."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(SPAN, name, ts, dur, track, cat, args))
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        track: str = "main",
+        cat: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """A zero-duration marker at ``ts`` on ``track``."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(INSTANT, name, ts, 0.0, track, cat, args))
+
+    def counter(
+        self,
+        name: str,
+        ts: float,
+        value: float,
+        track: str = "counters",
+        cat: str = "",
+    ) -> None:
+        """A sampled counter value (rendered as a step graph in Perfetto)."""
+        if not self.enabled:
+            return
+        self._append(
+            TraceEvent(COUNTER, name, ts, 0.0, track, cat, {"value": value})
+        )
+
+    # ------------------------------------------------------------ inspection
+
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all buffered events and reset the drop counter and offset."""
+        self._events.clear()
+        self.dropped = 0
+        self.offset = 0.0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+#: Process-global default tracer, created lazily by :func:`get_tracer`.
+_GLOBAL: Optional[Tracer] = None
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (lazily created, disabled by default).
+
+    The first call reads the ``REPRO_TRACE`` environment variable: any
+    value other than empty or ``0`` starts the tracer enabled, which is how
+    the tier-1 test suite runs with every hook live
+    (``REPRO_TRACE=1 pytest``).
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        enabled = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+        _GLOBAL = Tracer(enabled=enabled)
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-global tracer; returns the previous one."""
+    global _GLOBAL
+    old = get_tracer()
+    _GLOBAL = tracer
+    return old

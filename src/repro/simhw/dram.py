@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics
 from repro.simhw.machine import MachineConfig
 
 #: Relative tolerance of the bandwidth-cap root solve.
@@ -181,6 +182,10 @@ class DramModel:
             return k_queue
         # Saturated: solve A(k) = B.  A is strictly decreasing in k (every
         # segment with d_i > 0 has f_i > 0 because misses imply stall time).
+        # This bisection is the expensive path (hit only on memo misses at
+        # saturation), so it is worth a process-wide counter; the per-call
+        # hit/miss totals are bridged from cache_info() at replay end.
+        get_metrics().inc("dram.solve.bisections")
         lo, hi = k_queue, max(2.0 * k_queue, 2.0)
         if self._warm_hi > hi:
             hi = self._warm_hi

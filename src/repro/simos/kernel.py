@@ -26,6 +26,7 @@ import heapq
 from typing import Any, Generator, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import get_metrics, get_tracer
 from repro.simhw.clock import VirtualClock
 from repro.simhw.counters import CounterSet, PerfCounters
 from repro.simhw.dram import DramModel, SegmentDemand
@@ -57,10 +58,26 @@ _DONE_TOL = 1e-7
 class SimKernel:
     """A deterministic multicore discrete-event kernel."""
 
-    def __init__(self, config: MachineConfig, record_trace: bool = False) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        record_trace: bool = False,
+        tracer=None,
+    ) -> None:
         self.config = config
         self.clock = VirtualClock()
-        self.scheduler = CpuScheduler(config.n_cores)
+        #: Structured event tracer (``repro.obs``).  Defaults to the
+        #: process-global tracer, which is disabled unless opted in; hooks
+        #: guard on ``obs.enabled`` so the disabled cost is one branch.
+        self.obs = tracer if tracer is not None else get_tracer()
+        #: Sim-time origin: the tracer's offset at construction, so several
+        #: kernel runs of one program share a single exported timeline.
+        self._obs_t0 = self.obs.offset
+        #: (core, dispatch time) per running thread tid, for span emission.
+        self._obs_running: dict[int, tuple[int, float]] = {}
+        self.scheduler = CpuScheduler(
+            config.n_cores, tracer=self.obs, now=self._obs_now
+        )
         #: One DRAM pool per socket (one pool total on UMA machines).
         self.dram_pools = [
             DramModel(config, peak_bytes_per_sec=config.dram_peak_bytes_per_sec_per_socket)
@@ -149,9 +166,38 @@ class SimKernel:
 
     # ------------------------------------------------------------- internals
 
+    def _obs_now(self) -> float:
+        """Current simulated time on the shared (offset) trace timeline."""
+        return self.clock.now + self._obs_t0
+
+    def _obs_event(self, event: str, thread: SimThread) -> None:
+        """Emit tracer records for one lifecycle event.
+
+        Dispatch opens a per-core occupancy window; preempt/yield/block/
+        finish close it as a span on the ``cpu<N>`` track (one track per
+        simulated core — the Perfetto Gantt view), and every state change
+        lands as an instant on the thread's own track.
+        """
+        obs = self.obs
+        now = self._obs_now()
+        label = thread.name or f"t{thread.tid}"
+        if event == "dispatch":
+            assert thread.core is not None
+            self._obs_running[thread.tid] = (thread.core, now)
+        else:
+            window = self._obs_running.pop(thread.tid, None)
+            if window is not None:
+                core, t0 = window
+                obs.span(
+                    label, ts=t0, dur=now - t0, track=f"cpu{core}", cat="sched"
+                )
+        obs.instant(event, ts=now, track=f"thread:{label}", cat="state")
+
     def _trace(self, event: str, thread: SimThread) -> None:
         if self.trace is not None:
             self.trace.append((self.clock.now, event, thread.name, thread.core))
+        if self.obs.enabled:
+            self._obs_event(event, thread)
 
     def _push(self, time: float, kind: str, data: Any) -> None:
         self._seq += 1
@@ -222,6 +268,16 @@ class SimKernel:
                 for seg in group
             ]
             slowdowns = self.dram_pools[socket].slowdowns(demands)
+            if self.obs.enabled:
+                # Demanded vs achievable bandwidth as a counter track: the
+                # Perfetto step graph shows exactly when DRAM saturates.
+                self.obs.counter(
+                    f"dram{socket}.demand_gbs",
+                    ts=self._obs_now(),
+                    value=sum(d.demand_bytes_per_sec for d in demands) / 1e9,
+                    track=f"dram{socket}",
+                    cat="dram",
+                )
             for seg, s in zip(group, slowdowns):
                 seg.slowdown = s
                 seg.rate_epoch = self._epoch
@@ -255,6 +311,14 @@ class SimKernel:
                     and self._last_tid[core] != thread.tid
                 ):
                     switch_cost = self.config.context_switch_cycles
+                    if self.obs.enabled:
+                        self.obs.instant(
+                            "context_switch",
+                            ts=self._obs_now(),
+                            track=f"cpu{core}",
+                            cat="sched",
+                            args={"cost": switch_cost},
+                        )
                 self._last_tid[core] = thread.tid
                 if thread.segment is not None and thread.segment.remaining > 0:
                     # Resuming a preempted compute: reattach, rates fixed in
@@ -427,6 +491,15 @@ class SimKernel:
         if mutex.owner is thread:
             raise SimulationError(f"{thread!r} recursively acquiring {mutex!r}")
         mutex.contended_acquires += 1
+        if self.obs.enabled:
+            self.obs.instant(
+                "lock_contended",
+                ts=self._obs_now(),
+                track=f"thread:{thread.name or f't{thread.tid}'}",
+                cat="lock",
+                args={"lock": mutex.name, "owner": mutex.owner.name},
+            )
+        get_metrics().inc("sim.lock.contended")
         mutex.waiters.append(thread)
         self._block(thread)
         return False

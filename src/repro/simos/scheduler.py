@@ -12,9 +12,10 @@ delivers exactly that.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import get_tracer
 from repro.simos.thread import SimThread, ThreadState
 
 
@@ -22,16 +23,27 @@ class CpuScheduler:
     """Ready-queue plus core-assignment bookkeeping.
 
     The scheduler is purely mechanical; the kernel decides *when* to call it
-    (dispatch points, quantum expiry, wakeups).
+    (dispatch points, quantum expiry, wakeups).  It carries an observability
+    hook — ready-queue entries are traced as instants so the exported
+    timeline shows scheduler latency (ready → dispatch) per thread.
     """
 
-    def __init__(self, n_cores: int) -> None:
+    def __init__(
+        self,
+        n_cores: int,
+        tracer=None,
+        now: Optional[Callable[[], float]] = None,
+    ) -> None:
         if n_cores < 1:
             raise ConfigurationError(f"n_cores must be >= 1, got {n_cores}")
         self.n_cores = n_cores
         self.ready: Deque[SimThread] = deque()
         self.running: list[Optional[SimThread]] = [None] * n_cores
         self._stamp = 0
+        #: Tracer plus a clock accessor supplied by the owning kernel (the
+        #: scheduler itself has no notion of time).
+        self.obs = tracer if tracer is not None else get_tracer()
+        self._now = now
 
     # -- ready queue ----------------------------------------------------------
 
@@ -48,6 +60,14 @@ class CpuScheduler:
         self._stamp += 1
         thread.ready_stamp = self._stamp
         thread.state = ThreadState.READY
+        if self.obs.enabled and self._now is not None:
+            self.obs.instant(
+                "ready",
+                ts=self._now(),
+                track=f"thread:{thread.name or f't{thread.tid}'}",
+                cat="state",
+                args={"front": front} if front else None,
+            )
         if front:
             self.ready.appendleft(thread)
         else:

@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.simhw import MachineConfig
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _tracer_mode():
+    """Honour ``REPRO_TRACE=1``: run the whole suite with the global tracer
+    enabled, so every instrumentation hook executes live during tier-1 tests
+    (the results must be identical either way — tracing is observe-only)."""
+    if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
+        from repro.obs import get_tracer
+
+        get_tracer().enabled = True
+    yield
 
 
 @pytest.fixture

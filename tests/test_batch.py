@@ -3,8 +3,9 @@
 import pytest
 
 from repro import ParallelProphet
-from repro.core.batch import BatchPredictor, SweepTask, sweep
-from repro.errors import ConfigurationError
+from repro.core.batch import BatchPredictor, SweepTask, SweepTaskFailure, sweep
+from repro.errors import BatchError, ConfigurationError
+from repro.obs import MetricsRegistry, set_metrics
 from repro.simhw import MachineConfig
 
 M = MachineConfig(n_cores=8)
@@ -196,3 +197,124 @@ class TestConfig:
     def test_bad_chunks_per_job(self, prophet):
         with pytest.raises(ConfigurationError):
             BatchPredictor(prophet, chunks_per_job=0)
+
+
+#: A schedule spec SweepTask accepts (it keeps the raw string) but
+#: Schedule.parse rejects inside the worker — the injection vehicle.
+BAD_SCHEDULE = "nosuchsched"
+
+
+def _mixed_tasks(good=3):
+    tasks = [
+        SweepTask("cpu", "static", 2 + i, ("syn",), memory_model=False)
+        for i in range(good)
+    ]
+    # Poison the middle of the grid, not the edges.
+    tasks.insert(1, SweepTask("cpu", BAD_SCHEDULE, 2, ("syn",), memory_model=False))
+    return tasks
+
+
+class TestFailureHandling:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_does_not_poison_chunk(self, prophet, profiles, jobs):
+        """Other tasks in the same chunk still produce results."""
+        tasks = _mixed_tasks()
+        results = BatchPredictor(prophet, jobs=jobs).run(
+            tasks, profiles, on_error="collect"
+        )
+        assert [task for task, _ in results] == tasks
+        outcomes = [outcome for _, outcome in results]
+        failures = [o for o in outcomes if isinstance(o, SweepTaskFailure)]
+        assert len(failures) == 1
+        assert failures[0].schedule == BAD_SCHEDULE
+        assert failures[0].error == "ConfigurationError"
+        assert BAD_SCHEDULE in failures[0].message
+        # The three good tasks all succeeded, in grid order.
+        good = [o for o in outcomes if not isinstance(o, SweepTaskFailure)]
+        assert len(good) == 3
+        assert all(ests[0].method == "syn" for ests in good)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_raise_mode_raises_after_merge(self, prophet, profiles, jobs):
+        with pytest.raises(BatchError) as exc_info:
+            BatchPredictor(prophet, jobs=jobs).run(tasks=_mixed_tasks(),
+                                                   profiles=profiles)
+        err = exc_info.value
+        assert len(err.failures) == 1
+        assert isinstance(err.failures[0], SweepTaskFailure)
+        assert BAD_SCHEDULE in str(err)
+
+    def test_collect_matches_between_job_counts(self, prophet, profiles):
+        """Failure placement is deterministic across pool sizes."""
+        tasks = _mixed_tasks()
+        serial = BatchPredictor(prophet, jobs=1).run(
+            tasks, profiles, on_error="collect"
+        )
+        parallel = BatchPredictor(prophet, jobs=2).run(
+            tasks, profiles, on_error="collect"
+        )
+        assert serial == parallel
+
+    def test_sweep_attaches_failures_to_report(self, prophet, profiles):
+        reports = BatchPredictor(prophet, jobs=1).sweep(
+            {"cpu": profiles["cpu"]},
+            threads=[2, 4],
+            schedules=["static", BAD_SCHEDULE],
+            methods=("syn",),
+            memory_model=False,
+            on_error="collect",
+        )
+        report = reports["cpu"]
+        assert len(report.failures) == 2  # two thread counts × bad schedule
+        assert len(report.estimates) == 2
+        assert "2 grid point(s) failed" in report.to_table()
+
+    def test_sweep_raises_by_default(self, prophet, profiles):
+        with pytest.raises(BatchError):
+            BatchPredictor(prophet, jobs=1).sweep(
+                {"cpu": profiles["cpu"]},
+                threads=[2],
+                schedules=[BAD_SCHEDULE],
+                methods=("syn",),
+                memory_model=False,
+            )
+
+    def test_bad_on_error_rejected(self, prophet, profiles):
+        with pytest.raises(ConfigurationError):
+            BatchPredictor(prophet, jobs=1).run(
+                [], profiles, on_error="explode"
+            )
+
+
+class TestMetricsMerge:
+    @pytest.fixture()
+    def fresh_metrics(self):
+        mine = MetricsRegistry()
+        old = set_metrics(mine)
+        try:
+            yield mine
+        finally:
+            set_metrics(old)
+
+    def test_parallel_counters_match_serial(self, prophet, profiles,
+                                            fresh_metrics):
+        """Worker snapshots merged in submission order equal the in-process
+        counters: the determinism guarantee extends to metrics."""
+        kwargs = dict(threads=[2, 4], methods=("syn",), memory_model=False)
+        BatchPredictor(prophet, jobs=1).sweep(profiles, **kwargs)
+        serial_counters = fresh_metrics.snapshot()["counters"]
+        assert serial_counters.get("syn.replays") == 4.0  # 2 workloads × 2 t
+
+        fresh_metrics.reset()
+        BatchPredictor(prophet, jobs=2).sweep(profiles, **kwargs)
+        parallel_counters = fresh_metrics.snapshot()["counters"]
+        assert parallel_counters == serial_counters
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_task_errors_counted(self, prophet, profiles, jobs,
+                                 fresh_metrics):
+        BatchPredictor(prophet, jobs=jobs).run(
+            _mixed_tasks(), profiles, on_error="collect"
+        )
+        assert fresh_metrics.counter_value("batch.task.errors") == 1.0
+        assert fresh_metrics.counter_value("batch.tasks") == 4.0

@@ -128,6 +128,87 @@ class TestPredict:
         assert "cilk" in out
 
 
+class TestTrace:
+    def test_trace_writes_loadable_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "npb_ep",
+                    "--threads",
+                    "2",
+                    "--cores",
+                    "4",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(out_path.read_text())
+        assert data["traceEvents"]
+        phases = {rec["ph"] for rec in data["traceEvents"]}
+        assert phases <= {"X", "I", "C", "M"}
+        names = {
+            rec["args"]["name"]
+            for rec in data["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "thread_name"
+        }
+        assert "cpu0" in names and "cpu1" in names
+        out = capsys.readouterr().out
+        assert str(out_path) in out
+        assert "events" in out
+
+    def test_trace_syn_mode(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "npb_ep",
+                    "--threads",
+                    "2",
+                    "--mode",
+                    "syn",
+                    "--cores",
+                    "4",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert out_path.exists()
+
+
+class TestMetricsFlag:
+    def test_predict_metrics_prints_registry(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "npb_ep",
+                    "--threads",
+                    "2",
+                    "--methods",
+                    "syn",
+                    "--no-memory-model",
+                    "--no-real",
+                    "--cores",
+                    "4",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "syn.replays" in out
+
+
 class TestCalibrate:
     def test_calibrate_prints_formulas(self, capsys):
         assert main(["calibrate", "--threads", "2,4"]) == 0

@@ -387,3 +387,51 @@ class TestCompressedTrees:
         a = ff.emulate_section(sec_e, 4, Schedule.static())
         b = ff.emulate_section(sec_c, 4, Schedule.static())
         assert a == pytest.approx(b)
+
+
+class TestCounterSemantics:
+    """The bugfix: fast-path hit/miss attributes are per-emulation scratch
+    (emulate_profile resets them on entry), while cumulative totals live on
+    the process metrics registry."""
+
+    def test_emulate_profile_resets_instance_counters(self):
+        ff = FastForwardEmulator(ZERO_OH)
+        profile = balanced_loop(8)
+        ff.emulate_profile(profile.tree, 4, Schedule.static())
+        first = (ff.fast_path_hits, ff.fast_path_misses, ff.nodes_visited)
+        ff.emulate_profile(profile.tree, 4, Schedule.static())
+        # A shared emulator reused across grid points reports the *last*
+        # emulation, not an ever-growing sum (the seed leaked counts).
+        assert (ff.fast_path_hits, ff.fast_path_misses, ff.nodes_visited) == first
+
+    def test_reset_counters_between_direct_section_calls(self):
+        sec = Node(NodeKind.SEC, name="s")
+        Node(NodeKind.ROOT).add(sec)
+        task = sec.add(Node(NodeKind.TASK, repeat=4))
+        task.add(Node(NodeKind.U, length=1000.0))
+        ff = FastForwardEmulator(ZERO_OH)
+        ff.emulate_section(sec, 2, Schedule.static())
+        ff.emulate_section(sec, 4, Schedule.static())
+        assert ff.fast_path_hits == 2
+        ff.reset_counters()
+        assert ff.fast_path_hits == 0
+        assert ff.fast_path_misses == 0
+        assert ff.nodes_visited == 0
+
+    def test_registry_accumulates_across_emulations(self):
+        from repro.obs import MetricsRegistry, set_metrics
+
+        mine = MetricsRegistry()
+        old = set_metrics(mine)
+        try:
+            ff = FastForwardEmulator(ZERO_OH)
+            profile = balanced_loop(8)
+            ff.emulate_profile(profile.tree, 2, Schedule.static())
+            ff.emulate_profile(profile.tree, 4, Schedule.static())
+            assert mine.counter_value("ff.emulations") == 2.0
+            # Cumulative: two emulations x one fast-path hit each, even
+            # though the instance attribute was reset in between.
+            assert mine.counter_value("ff.fast_path.hits") == 2.0
+            assert mine.counter_value("ff.nodes_visited") > 0.0
+        finally:
+            set_metrics(old)

@@ -172,7 +172,16 @@ class TestPipelineFuzz:
     )
     def test_fake_matches_real_without_memory(self, items):
         """Strip memory specs: FAKE and REAL replay the same delays, so
-        their speedups must agree tightly."""
+        their speedups must agree tightly.
+
+        Leaf durations are clamped to >= 5000 cycles: the FAKE replay pays
+        ~100 cycles of traversal overhead per node and subtracts only the
+        longest per-worker total (Fig. 8 line 26), so on trees of tiny
+        leaves the residual is unbounded relative to the work (fuzzing
+        found 10-cycle leaves under triple-nested sections off by 6x).
+        The agreement claim — and this test — applies to the regime where
+        leaves dwarf the per-node cost, which real profiled intervals do.
+        """
 
         def strip(item):
             if isinstance(item, float):
@@ -182,7 +191,10 @@ class TestPipelineFuzz:
                 kind,
                 [
                     (
-                        [(op, cyc, None, lock) for op, cyc, _, lock in ops],
+                        [
+                            (op, max(cyc, 5_000.0), None, lock)
+                            for op, cyc, _, lock in ops
+                        ],
                         [strip(s) for s in nested],
                     )
                     for ops, nested in tasks

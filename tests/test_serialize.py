@@ -150,6 +150,54 @@ class TestProfileRoundtrip:
         assert restored.tree.unique_nodes() == profile.tree.unique_nodes()
 
 
+class TestMachineParity:
+    """Guards against the dropped-field bug: the serializer once listed
+    machine fields by hand and silently lost any added after the seed
+    (n_sockets, context_switch_cycles, dram_solve_cache)."""
+
+    def test_machine_dict_covers_every_field(self):
+        from dataclasses import fields
+
+        data = profile_to_dict(sample_profile())
+        assert set(data["machine"]) == {f.name for f in fields(MachineConfig)}
+
+    def test_non_default_machine_roundtrips_exactly(self, tmp_path):
+        machine = MachineConfig(
+            n_cores=4,
+            n_sockets=2,
+            context_switch_cycles=5.0,
+            dram_solve_cache=7,
+        )
+
+        def program(tr):
+            with tr.section("s"):
+                with tr.task():
+                    tr.compute(1_000)
+
+        profile = IntervalProfiler(machine).profile(program)
+        path = tmp_path / "p.json"
+        save_profile(profile, path)
+        restored = load_profile(path)
+        assert restored.machine == machine
+
+    def test_old_ten_key_files_still_load(self):
+        """Pre-fix profiles carried only the seed's ten machine keys; the
+        missing fields must fall back to MachineConfig defaults."""
+        data = profile_to_dict(sample_profile())
+        legacy_keys = {
+            "n_cores", "freq_ghz", "line_size", "llc_bytes", "llc_assoc",
+            "base_miss_stall", "dram_peak_gbs", "dram_queue_gain",
+            "timeslice_cycles", "tracer_overhead_cycles",
+        }
+        data["machine"] = {
+            k: v for k, v in data["machine"].items() if k in legacy_keys
+        }
+        restored = profile_from_dict(data)
+        assert restored.machine.n_cores == M.n_cores
+        assert restored.machine.n_sockets == MachineConfig().n_sockets
+        assert restored.machine.dram_solve_cache == MachineConfig().dram_solve_cache
+
+
 class TestTraceDrivenProfiler:
     def test_trace_driven_counts_reuse(self):
         """Trace-driven profiling sees cross-segment reuse: the second sweep

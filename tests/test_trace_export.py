@@ -1,0 +1,168 @@
+"""Golden tests for the Chrome-trace/Perfetto timeline export.
+
+A small 2-thread workload is replayed with the tracer enabled; the exported
+JSON must be schema-valid Trace Event Format, carry one named track per
+simulated core and per simulated thread, and be byte-identical across runs
+(the simulation and the export are both deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.executor import ParallelExecutor, ReplayMode
+from repro.core.profiler import IntervalProfiler
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
+from repro.simhw import MachineConfig
+
+M2 = MachineConfig(n_cores=2)
+
+#: Trace Event Format phases the exporter may emit.
+VALID_PHASES = {"X", "I", "C", "M"}
+
+
+def _profile():
+    def program(tr):
+        with tr.section("loop"):
+            for _ in range(4):
+                with tr.task():
+                    tr.compute(50_000.0)
+        tr.compute(20_000.0)
+        with tr.section("tail"):
+            for _ in range(2):
+                with tr.task():
+                    tr.compute(30_000.0)
+
+    return IntervalProfiler(M2).profile(program)
+
+
+def _trace_events(profile):
+    tracer = Tracer(enabled=True)
+    ex = ParallelExecutor(M2, tracer=tracer)
+    ex.execute_profile(profile.tree, 2, ReplayMode.REAL)
+    return tracer.events()
+
+
+class TestChromeTraceExport:
+    def test_schema(self):
+        profile = _profile()
+        events = _trace_events(profile)
+        assert events, "enabled tracer recorded nothing"
+        data = to_chrome_trace(events, freq_ghz=M2.freq_ghz)
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        records = data["traceEvents"]
+        assert records
+        for rec in records:
+            assert rec["ph"] in VALID_PHASES
+            assert isinstance(rec["name"], str) and rec["name"]
+            assert rec["pid"] == 1
+            assert isinstance(rec["tid"], int)
+            if rec["ph"] == "M":
+                assert rec["name"] in ("process_name", "thread_name",
+                                       "thread_sort_index")
+            else:
+                assert rec["ts"] >= 0.0
+            if rec["ph"] == "X":
+                assert rec["dur"] >= 0.0
+            if rec["ph"] == "I":
+                assert rec["s"] == "t"
+            if rec["ph"] == "C":
+                assert "value" in rec["args"]
+
+    def test_one_track_per_core_and_thread(self):
+        profile = _profile()
+        data = to_chrome_trace(_trace_events(profile), freq_ghz=M2.freq_ghz)
+        names = {
+            rec["args"]["name"]
+            for rec in data["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "thread_name"
+        }
+        # One track per simulated core ...
+        assert {"cpu0", "cpu1"} <= names
+        # ... and one per simulated thread (master + both OMP workers).
+        assert "thread:replay-master" in names
+        assert any(n.startswith("thread:omp-w") for n in names)
+        # The executor adds a program-level sections track.
+        assert "sections" in names
+
+    def test_cpu_tracks_sort_first(self):
+        profile = _profile()
+        data = to_chrome_trace(_trace_events(profile), freq_ghz=M2.freq_ghz)
+        tid_of = {
+            rec["args"]["name"]: rec["tid"]
+            for rec in data["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "thread_name"
+        }
+        assert tid_of["cpu0"] == 0
+        assert tid_of["cpu1"] == 1
+        assert all(
+            tid_of[name] > tid_of["cpu1"]
+            for name in tid_of
+            if not name.startswith("cpu")
+        )
+
+    def test_spans_cover_sections_in_program_order(self):
+        profile = _profile()
+        data = to_chrome_trace(_trace_events(profile), freq_ghz=M2.freq_ghz)
+        tid_of = {
+            rec["args"]["name"]: rec["tid"]
+            for rec in data["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "thread_name"
+        }
+        section_spans = [
+            rec
+            for rec in data["traceEvents"]
+            if rec["ph"] == "X" and rec["tid"] == tid_of["sections"]
+        ]
+        assert [s["name"] for s in section_spans] == ["loop", "tail"]
+        # The tail section starts after the loop section plus the serial gap.
+        assert section_spans[1]["ts"] > (
+            section_spans[0]["ts"] + section_spans[0]["dur"]
+        )
+
+    def test_byte_determinism(self):
+        profile = _profile()
+        one = json.dumps(
+            to_chrome_trace(_trace_events(profile), freq_ghz=M2.freq_ghz),
+            sort_keys=True,
+        )
+        two = json.dumps(
+            to_chrome_trace(_trace_events(profile), freq_ghz=M2.freq_ghz),
+            sort_keys=True,
+        )
+        assert one == two
+
+    def test_write_round_trip(self, tmp_path):
+        profile = _profile()
+        out = tmp_path / "trace.json"
+        written = write_chrome_trace(
+            _trace_events(profile), out, freq_ghz=M2.freq_ghz
+        )
+        loaded = json.loads(out.read_text())
+        assert loaded == written
+
+    def test_disabled_tracer_records_nothing(self):
+        profile = _profile()
+        tracer = Tracer(enabled=False)
+        ex = ParallelExecutor(M2, tracer=tracer)
+        result = ex.execute_profile(profile.tree, 2, ReplayMode.REAL)
+        assert result.total_cycles > 0
+        assert len(tracer) == 0
+
+    def test_tracing_does_not_change_results(self):
+        profile = _profile()
+        quiet = ParallelExecutor(M2, tracer=Tracer(enabled=False))
+        loud = ParallelExecutor(M2, tracer=Tracer(enabled=True))
+        r1 = quiet.execute_profile(profile.tree, 2, ReplayMode.REAL)
+        r2 = loud.execute_profile(profile.tree, 2, ReplayMode.REAL)
+        assert r1.total_cycles == pytest.approx(r2.total_cycles, rel=0, abs=0)
+
+    def test_no_freq_scale_defaults_to_cycles(self):
+        tracer = Tracer(enabled=True)
+        tracer.span("a", ts=100.0, dur=50.0, track="cpu0")
+        data = to_chrome_trace(tracer.events())
+        span = [r for r in data["traceEvents"] if r["ph"] == "X"][0]
+        assert span["ts"] == 100.0
+        assert span["dur"] == 50.0
