@@ -108,12 +108,16 @@ def _predict_point(
     overheads: RuntimeOverheads,
     task: SweepTask,
     ff: FastForwardEmulator,
+    executors: Optional[dict[tuple[str, str], ParallelExecutor]] = None,
 ) -> list[SpeedupEstimate]:
     """Evaluate one grid point; runs identically in-process or in a worker.
 
     Uses ``profile.machine`` (the machine the profile was taken on) for the
     synthesizer and ground-truth replays, mirroring how the facade's
-    prediction paths behave.
+    prediction paths behave.  ``executors`` (chunk-scoped, keyed by
+    paradigm × schedule) reuses REAL-replay executors across grid points;
+    section results themselves recur through the process-wide
+    :class:`~repro.core.executor.SectionMemo` either way.
     """
     schedule = Schedule.parse(task.schedule)
     serial = profile.serial_cycles()
@@ -151,12 +155,17 @@ def _predict_point(
             )
             estimates.append(run.estimate)
         else:  # "real" — simulated ground-truth replay
-            executor = ParallelExecutor(
-                machine=profile.machine,
-                paradigm=task.paradigm,
-                schedule=schedule,
-                overheads=overheads,
-            )
+            key = (task.paradigm, schedule.label)
+            executor = executors.get(key) if executors is not None else None
+            if executor is None:
+                executor = ParallelExecutor(
+                    machine=profile.machine,
+                    paradigm=task.paradigm,
+                    schedule=schedule,
+                    overheads=overheads,
+                )
+                if executors is not None:
+                    executors[key] = executor
             result = executor.execute_profile(
                 profile.tree, task.n_threads, ReplayMode.REAL
             )
@@ -202,11 +211,12 @@ def _run_taskset(
     if collect_metrics:
         metrics.reset()
     ff = FastForwardEmulator(overheads)
+    executors: dict[tuple[str, str], ParallelExecutor] = {}
     results: list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]] = []
     for index, task in indexed_tasks:
         try:
             results.append(
-                (index, _predict_point(profile, overheads, task, ff))
+                (index, _predict_point(profile, overheads, task, ff, executors))
             )
         except Exception as exc:
             metrics.inc("batch.task.errors")

@@ -22,6 +22,7 @@ ground-truth work composition, so predictions are honest.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Mapping, Optional
 
@@ -31,7 +32,7 @@ from repro.obs import get_metrics, get_tracer
 from repro.runtime.cilk import CilkContext, CilkPool
 from repro.runtime.openmp import OmpRuntime
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
-from repro.runtime.tasks import Schedule
+from repro.runtime.tasks import Schedule, ScheduleKind
 from repro.simhw.machine import MachineConfig
 from repro.simos import (
     Acquire,
@@ -54,6 +55,92 @@ class ReplayMode(enum.Enum):
 #: of overhead on our machine are both approximately 50 cycles").
 OVERHEAD_ACCESS_NODE = 50.0
 OVERHEAD_RECURSIVE_CALL = 50.0
+
+
+def _node_fingerprint(node: Node) -> tuple:
+    """Structural identity of a subtree (all timing-relevant fields).
+
+    Two nodes with equal fingerprints replay identically on equal
+    machine/runtime configurations, which is what makes the cross-grid
+    section memo sound: the simulation is deterministic in these inputs.
+    """
+    return (
+        node.kind.value,
+        node.name,
+        node.length,
+        node.lock_id,
+        node.repeat,
+        node.cpu_cycles,
+        node.instructions,
+        node.llc_misses,
+        node.nowait,
+        node.pipeline,
+        tuple(_node_fingerprint(c) for c in node.children),
+    )
+
+
+class SectionMemo:
+    """Bounded LRU over section replays, shared across executors.
+
+    Sweep grids re-execute the same section at the same ``n_threads`` for
+    every burden/point combination that maps to identical inputs; the memo
+    returns the previous :class:`SectionRun` without building a kernel.
+    Keys include every input the replay depends on (machine, overheads,
+    paradigm, schedule, mode, thread count, quantized burden, kernel/
+    coalescing toggles, and the section's structural fingerprint).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[tuple, SectionRun] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional["SectionRun"]:
+        """Look up ``key``, counting a hit or miss and refreshing LRU order."""
+        run = self._data.get(key)
+        if run is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return run
+
+    def put(self, key: tuple, run: "SectionRun") -> None:
+        """Insert ``run``, evicting least-recently-used entries over capacity."""
+        self._data[key] = run
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size/maxsize counters (mirrors the DRAM memo's stats)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide section memo (cleared via :func:`clear_section_memo`).
+_SECTION_MEMO = SectionMemo()
+
+
+def section_memo_info() -> dict[str, int]:
+    """Hit/miss/size counters of the process-wide section memo."""
+    return _SECTION_MEMO.cache_info()
+
+
+def clear_section_memo() -> None:
+    """Drop all memoised section replays (tests, config changes)."""
+    _SECTION_MEMO.clear()
 
 
 class _OverheadManager:
@@ -119,6 +206,20 @@ class ParallelExecutor:
         OpenMP loop schedule; ignored by the Cilk paradigm.
     overheads:
         Runtime overhead constants, shared with the FF emulator.
+    coalesce:
+        Coalesce each OpenMP worker's owned iterations of a lock-free,
+        leaf-only section under a static-family schedule into one
+        aggregated ``Compute`` (the replay-layer mirror of the FF fast
+        path).  Falls back to the exact expanded lowering for locks,
+        nesting, pipelines, dynamic schedules, and demand mixes that
+        aggregation cannot represent exactly.
+    kernel_optimize:
+        Passed to every :class:`SimKernel` this executor builds (the
+        event-sparse fast paths; ``False`` forces the eager reference
+        kernel for parity testing).
+    memoize:
+        Consult the process-wide :class:`SectionMemo` before replaying a
+        section (bypassed automatically while tracing is enabled).
     """
 
     def __init__(
@@ -128,6 +229,9 @@ class ParallelExecutor:
         schedule: Schedule = Schedule.static(),
         overheads: RuntimeOverheads = DEFAULT_OVERHEADS,
         tracer=None,
+        coalesce: bool = True,
+        kernel_optimize: bool = True,
+        memoize: bool = True,
     ) -> None:
         if paradigm not in ("omp", "cilk", "omp_task"):
             raise EmulationError(f"unknown paradigm {paradigm!r}")
@@ -135,10 +239,22 @@ class ParallelExecutor:
         self.paradigm = paradigm
         self.schedule = schedule
         self.overheads = overheads
+        self.coalesce = coalesce
+        self.kernel_optimize = kernel_optimize
+        self.memoize = memoize
+        #: Sections replayed through the coalesced / exact OpenMP lowering
+        #: (fallback diagnostics for tests and benchmarks).
+        self.coalesced_sections = 0
+        self.exact_sections = 0
         #: Tracer handed to every kernel this executor constructs; the
         #: executor advances ``obs.offset`` between top-level sections so
         #: all per-section kernel runs land on one program-wide timeline.
         self.obs = tracer if tracer is not None else get_tracer()
+
+    def _make_kernel(self) -> SimKernel:
+        return SimKernel(
+            self.machine, tracer=self.obs, optimize=self.kernel_optimize
+        )
 
     def _bridge_kernel_metrics(self, kernel: SimKernel) -> None:
         """Fold one finished kernel run's counters into the process-wide
@@ -150,6 +266,8 @@ class ParallelExecutor:
         m.inc("replay.sections")
         if kernel.preemptions:
             m.inc("sim.preemptions", kernel.preemptions)
+        if kernel.lock_contended:
+            m.inc("sim.lock.contended", kernel.lock_contended)
         stats = kernel.dram_cache_stats()
         if stats["hits"]:
             m.inc("dram.solve.hits", stats["hits"])
@@ -197,6 +315,31 @@ class ParallelExecutor:
                         if mode is ReplayMode.FAKE
                         else 1.0
                     )
+                    if traced:
+                        # The exported timeline must show every repeat, so
+                        # bypass the per-call cache (and execute_section
+                        # bypasses the memo) and re-run the section per
+                        # repeat with one span each.
+                        for _ in range(item.repeat):
+                            r0 = total
+                            self.obs.offset = origin + total
+                            run = self.execute_section(
+                                item, n_threads, mode, burden=beta
+                            )
+                            sections.append(run)
+                            total += run.net_cycles
+                            self.obs.span(
+                                run.name,
+                                ts=origin + r0,
+                                dur=total - r0,
+                                track="sections",
+                                cat="replay",
+                                args={
+                                    "mode": mode.value,
+                                    "preemptions": run.preemptions,
+                                },
+                            )
+                        continue
                     run = cache.get(id(item))
                     if run is None:
                         run = self.execute_section(
@@ -212,18 +355,18 @@ class ParallelExecutor:
                     run = self.execute_chain(item, n_threads, mode, burdens)
                     sections.append(run)
                     total += run.net_cycles
-                if traced:
-                    self.obs.span(
-                        run.name,
-                        ts=origin + t0,
-                        dur=total - t0,
-                        track="sections",
-                        cat="replay",
-                        args={
-                            "mode": mode.value,
-                            "preemptions": run.preemptions,
-                        },
-                    )
+                    if traced:
+                        self.obs.span(
+                            run.name,
+                            ts=origin + t0,
+                            dur=total - t0,
+                            track="sections",
+                            cat="replay",
+                            args={
+                                "mode": mode.value,
+                                "preemptions": run.preemptions,
+                            },
+                        )
         finally:
             self.obs.offset = origin
         return ReplayResult(
@@ -251,7 +394,7 @@ class ParallelExecutor:
         """Execute a nowait chain of sections as one OpenMP parallel region
         with several worksharing loops (PAR_SEC_END(nowait) semantics)."""
         burdens = burdens or {}
-        kernel = SimKernel(self.machine, tracer=self.obs)
+        kernel = self._make_kernel()
         locks: dict[int, SimMutex] = {}
         ohmgr = _OverheadManager()
         omp = OmpRuntime(kernel, self.overheads)
@@ -287,11 +430,46 @@ class ParallelExecutor:
 
         Matches the paper's ``EmulTopLevelParSec``: sets the worker count,
         measures gross elapsed cycles, and (FAKE mode) subtracts the longest
-        per-worker traversal overhead.
+        per-worker traversal overhead.  Identical (section, config) pairs
+        are served from the cross-grid :class:`SectionMemo` unless tracing
+        is enabled (a memo hit would silence the kernel's timeline events).
         """
         if sec.kind is not NodeKind.SEC:
             raise EmulationError(f"execute_section needs a SEC node, got {sec.kind}")
-        kernel = SimKernel(self.machine, tracer=self.obs)
+        memo_key = None
+        if self.memoize and not self.obs.enabled:
+            memo_key = (
+                self.machine,
+                self.overheads,
+                self.paradigm,
+                self.schedule,
+                mode.value,
+                n_threads,
+                float(f"{burden:.12g}"),
+                self.coalesce,
+                self.kernel_optimize,
+                _node_fingerprint(sec),
+            )
+            run = _SECTION_MEMO.get(memo_key)
+            m = get_metrics()
+            if run is not None:
+                m.inc("replay.section_memo.hits")
+                m.inc("replay.sections")
+                return run
+            m.inc("replay.section_memo.misses")
+        run = self._execute_section_uncached(sec, n_threads, mode, burden)
+        if memo_key is not None:
+            _SECTION_MEMO.put(memo_key, run)
+        return run
+
+    def _execute_section_uncached(
+        self,
+        sec: Node,
+        n_threads: int,
+        mode: ReplayMode,
+        burden: float,
+    ) -> SectionRun:
+        kernel = self._make_kernel()
         locks: dict[int, SimMutex] = {}
         ohmgr = _OverheadManager()
         steals = 0
@@ -324,12 +502,33 @@ class ParallelExecutor:
 
         if self.paradigm == "omp":
             omp = OmpRuntime(kernel, self.overheads)
+            shares = (
+                self._coalesce_shares(sec, n_threads, mode, burden)
+                if self.coalesce
+                else None
+            )
+            if shares is not None:
+                self.coalesced_sections += 1
+                member_bodies = [
+                    self._coalesced_member_body(share, mode, ohmgr)
+                    for share in shares
+                ]
 
-            def master() -> Generator[Any, Any, None]:
-                bodies = self._omp_bodies(sec, omp, n_threads, locks, mode, burden, ohmgr)
-                yield from omp.parallel_for(
-                    bodies, n_threads=n_threads, schedule=self.schedule
-                )
+                def master() -> Generator[Any, Any, None]:
+                    yield from omp.parallel_aggregated(
+                        member_bodies, n_threads=n_threads
+                    )
+
+            else:
+                self.exact_sections += 1
+
+                def master() -> Generator[Any, Any, None]:
+                    bodies = self._omp_bodies(
+                        sec, omp, n_threads, locks, mode, burden, ohmgr
+                    )
+                    yield from omp.parallel_for(
+                        bodies, n_threads=n_threads, schedule=self.schedule
+                    )
 
             kernel.spawn(master(), name="replay-master")
             gross = kernel.run()
@@ -381,6 +580,160 @@ class ParallelExecutor:
             preemptions=kernel.preemptions,
             steals=steals,
         )
+
+    # ----------------------------------------------------- coalesced lowering
+
+    def _demand_sig(self, cycles: float, misses: float) -> tuple[float, float]:
+        """Quantized (mem-fraction, demand) of one compute — the DRAM
+        model's view of a segment.  Same formulas as the kernel's
+        ``_attach_segment`` so "equal sig" means "identical contention
+        behaviour"."""
+        cfg = self.machine
+        f = min(1.0, misses * cfg.base_miss_stall / cycles)
+        seconds = cfg.cycles_to_seconds(cycles)
+        d = misses * cfg.line_size / seconds if seconds > 0 else 0.0
+        return (float(f"{f:.12g}"), float(f"{d:.12g}"))
+
+    def _coalesce_shares(
+        self,
+        sec: Node,
+        n_threads: int,
+        mode: ReplayMode,
+        burden: float,
+    ) -> Optional[list[tuple[float, float, float, float, int]]]:
+        """Per-member aggregated work shares for an OpenMP section, or
+        ``None`` when only the exact expanded lowering is safe.
+
+        Eligible sections are lock-free and leaf-only under a static-family
+        schedule.  Demand-free work (every FAKE replay, and REAL sections
+        with zero LLC misses) always aggregates exactly: concatenating
+        slowdown-1.0 segments is associative.  REAL sections *with* misses
+        aggregate only under plain ``static`` when every timed compute
+        carries the same quantized demand signature — then each member's
+        single fused segment presents the DRAM solver with the same
+        (mem-fraction, demand) multiset as the expanded per-iteration
+        stream, so contention develops identically.  Anything else (demand
+        mixes, round-robin chunk interleaving with misses) would perturb
+        the multiset and is handed to the exact path.
+
+        Returns one ``(cycles, instructions, misses, traversal_overhead,
+        n_dispatches)`` tuple per team member.
+        """
+        schedule = self.schedule
+        if sec.pipeline or schedule.is_dynamic_family:
+            return None
+        stall = self.machine.base_miss_stall
+        runs: list[tuple[int, float, float, float, float]] = []
+        sigs: set = set()
+        total_misses = 0.0
+        for task in sec.children:
+            c = i = m = oh = 0.0
+            for node in task.children:
+                if node.kind is not NodeKind.U:
+                    return None
+                if mode is ReplayMode.FAKE:
+                    oh += OVERHEAD_ACCESS_NODE
+                    c += node.length * burden * node.repeat
+                else:
+                    cc = (node.cpu_cycles + node.llc_misses * stall) * node.repeat
+                    mm = node.llc_misses * node.repeat
+                    if mm > 0.0 and cc <= 0.0:
+                        # Instant (zero-cycle) misses have no demand in the
+                        # expanded lowering; fusing them would invent some.
+                        return None
+                    c += cc
+                    i += node.instructions * node.repeat
+                    m += mm
+                    if cc > 0.0:
+                        sigs.add(self._demand_sig(cc, mm) if mm > 0.0 else None)
+            total_misses += m * task.repeat
+            runs.append((task.repeat, c, i, m, oh))
+        if mode is ReplayMode.REAL and total_misses > 0.0:
+            if (
+                schedule.kind is not ScheduleKind.STATIC
+                or len(sigs) != 1
+                or None in sigs
+            ):
+                return None
+        n_iters = sum(r[0] for r in runs)
+        bounds = [0]
+        for rep, *_ in runs:
+            bounds.append(bounds[-1] + rep)
+        shares = []
+        for tid in range(n_threads):
+            wc = wi = wm = woh = 0.0
+            owned = 0
+            for r, (rep, c, i, m, oh) in enumerate(runs):
+                k = self._owned_in(
+                    bounds[r], bounds[r + 1], tid, n_iters, n_threads
+                )
+                if k:
+                    owned += k
+                    wc += k * c
+                    wi += k * i
+                    wm += k * m
+                    woh += k * oh
+            if n_threads == 1:
+                # The degenerate inline team dispatches per iteration.
+                n_disp = n_iters
+            elif schedule.kind is ScheduleKind.STATIC_CHUNK:
+                n_disp = -(-owned // schedule.chunk)
+            else:
+                n_disp = 1 if owned else 0
+            shares.append((wc, wi, wm, woh, n_disp))
+        return shares
+
+    def _owned_in(
+        self, a: int, b: int, tid: int, n_iters: int, n_threads: int
+    ) -> int:
+        """How many iterations of ``[a, b)`` member ``tid`` owns (closed
+        form of ``Schedule.static_assignment`` restricted to a range)."""
+        if n_threads == 1:
+            return b - a
+        if self.schedule.kind is ScheduleKind.STATIC:
+            base = n_iters // n_threads
+            extra = n_iters % n_threads
+            start = tid * base + min(tid, extra)
+            end = start + base + (1 if tid < extra else 0)
+            return max(0, min(b, end) - max(a, start))
+        # static,c: chunk j belongs to tid j % n_threads; count owned
+        # iterations below x via the period p = n_threads * c.
+        c = self.schedule.chunk
+        p = n_threads * c
+
+        def below(x: int) -> int:
+            return (x // p) * c + min(max(x % p - tid * c, 0), c)
+
+        return below(b) - below(a)
+
+    def _coalesced_member_body(
+        self,
+        share: tuple[float, float, float, float, int],
+        mode: ReplayMode,
+        ohmgr: _OverheadManager,
+    ) -> Callable[[], Generator[Any, Any, None]]:
+        work, instr, misses, overhead, n_disp = share
+        dispatch = n_disp * self.overheads.omp_static_dispatch
+
+        def body() -> Generator[Any, Any, None]:
+            if mode is ReplayMode.FAKE and overhead > 0.0:
+                me = yield GetCurrentThread()
+                ohmgr.add(me.tid, overhead)
+            if misses > 0.0:
+                # Keep the demand-free dispatch cost out of the missy
+                # segment so its mem-fraction matches the per-iteration
+                # signature the eligibility check certified.
+                if dispatch > 0.0:
+                    yield Compute(cycles=dispatch)
+                yield Compute(
+                    cycles=work, instructions=instr, llc_misses=misses
+                )
+            else:
+                total = dispatch + work + overhead
+                if total > 0.0 or instr > 0.0:
+                    yield Compute(cycles=total, instructions=instr)
+
+        return body
 
     # ------------------------------------------------------------- lowering
 

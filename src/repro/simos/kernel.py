@@ -11,8 +11,10 @@ Executes simulated threads (generator coroutines, see
 - **preemptive round-robin scheduling** with a configurable timeslice, which
   yields fair time-sharing under oversubscription (the OS behaviour behind
   the paper's Fig. 7);
-- **deterministic ordering**: the event heap is tie-broken by a sequence
-  number and the ready queue is FIFO, so every run is exactly reproducible.
+- **deterministic ordering**: same-time heap events are tie-broken by a
+  mode-independent key (quantum expiries before segment completions, then
+  core/thread id) and the ready queue is FIFO, so every run is exactly
+  reproducible — in the event-sparse fast path and the eager mode alike.
 
 Zero-duration operations (lock handoff, spawning, event flips) are free;
 all runtime costs are modelled *explicitly* by the parallel runtimes in
@@ -26,7 +28,7 @@ import heapq
 from typing import Any, Generator, Optional
 
 from repro.errors import DeadlockError, SimulationError
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_tracer
 from repro.simhw.clock import VirtualClock
 from repro.simhw.counters import CounterSet, PerfCounters
 from repro.simhw.dram import DramModel, SegmentDemand
@@ -54,6 +56,10 @@ from repro.simos.thread import (
 #: Relative tolerance below which a segment's remaining work counts as done.
 _DONE_TOL = 1e-7
 
+#: Sentinel returned by request handlers when the thread stopped being
+#: runnable (computing, blocked, yielded) — never a valid send value.
+_SUSPEND = object()
+
 
 class SimKernel:
     """A deterministic multicore discrete-event kernel."""
@@ -63,9 +69,14 @@ class SimKernel:
         config: MachineConfig,
         record_trace: bool = False,
         tracer=None,
+        optimize: bool = True,
     ) -> None:
         self.config = config
         self.clock = VirtualClock()
+        #: Event-sparse fast paths (lazy quantum arming + incremental
+        #: reconfigure).  ``optimize=False`` restores the eager seed
+        #: behaviour event for event; both modes are parity-tested.
+        self._optimize = optimize
         #: Structured event tracer (``repro.obs``).  Defaults to the
         #: process-global tracer, which is disabled unless opted in; hooks
         #: guard on ``obs.enabled`` so the disabled cost is one branch.
@@ -87,19 +98,59 @@ class SimKernel:
         self.dram = self.dram_pools[0]
         #: Global performance-counter accumulator (all cores).
         self.counters = CounterSet()
-        self._heap: list[tuple[float, int, str, Any]] = []
+        self._heap: list[tuple] = []
         self._seq = 0
         self._next_tid = 0
         self._live = 0
         self._quantum_arm = [0] * config.n_cores
         self._last_tid: list[Optional[int]] = [None] * config.n_cores
         self._epoch = 0
+        # Lazy-quantum state (optimize mode): the next round-robin boundary
+        # per core and whether an expiry event is currently in the heap.
+        # Boundaries advance by repeated ``+= timeslice`` from the dispatch
+        # anchor — the same float accumulation the eager re-arm performs —
+        # so preemption times are bitwise identical in both modes.
+        self._q_next = [0.0] * config.n_cores
+        self._q_armed = [False] * config.n_cores
+        # Incremental-reconfigure state: per-socket demand-multiset
+        # signature and the stall factor it solved to, plus segments
+        # attached since the last reconfigure (they need a completion
+        # event even when their socket's rates are unchanged).
+        self._socket_sig: dict[int, tuple] = {}
+        self._socket_k: dict[int, float] = {}
+        # Segments with no completion event yet (rate_epoch == -1), attached
+        # or reattached since the last reconfigure pass consumed the list.
+        self._fresh_segs: list[ComputeSegment] = []
+        # False when every busy core's quantum is known to be armed (or no
+        # waiter exists): lets _ensure_quanta bail out O(1) per dispatch.
+        self._quanta_dirty = True
+        # Running segments with nonzero memory demand.  While zero, every
+        # running segment's slowdown is identically 1.0 (f == 0), so
+        # reconfigure needs no grouping, no signature, and no solve.
+        self._demand_running = 0
+        # Monotone per-socket demand-set version, bumped whenever a segment
+        # with nonzero demand starts or stops running on that socket, and
+        # the version each socket's cached signature was computed at.  An
+        # unchanged version lets _reconfigure skip building the signature
+        # at all — the common case on steady-state passes.
+        self._demand_ver = [0] * config.n_sockets
+        self._socket_ver: dict[int, int] = {}
         #: Optional schedule trace for tests: (time, event, thread name, core).
         self.trace: Optional[list[tuple[float, str, str, Optional[int]]]] = (
             [] if record_trace else None
         )
         #: Total context switches performed (preemptions only).
         self.preemptions = 0
+        #: Lock acquisitions that blocked (bridged to the metrics registry
+        #: once per replayed section, never from this hot path).
+        self.lock_contended = 0
+        #: Quantum expiry events pushed (both modes; lazy mode arms only
+        #: when a core actually has a waiter).
+        self.quantum_arms = 0
+        #: Reconfigure passes that re-rated at least one socket vs. passes
+        #: answered entirely from the per-socket signature cache.
+        self.reconfig_solves = 0
+        self.reconfig_skips = 0
 
     # ------------------------------------------------------------------ API
 
@@ -135,19 +186,27 @@ class SimKernel:
                 stats[field] += info[field]
         return stats
 
+    @property
+    def events_pushed(self) -> int:
+        """Total events ever pushed onto the heap (work metric for benches)."""
+        return self._seq
+
     def run(self) -> float:
         """Run until every spawned thread has finished; returns final time."""
         self._dispatch_and_reconfigure()
+        heap = self._heap
+        heappop = heapq.heappop
+        advance_to = self.clock.advance_to
         while self._live > 0:
-            if not self._heap:
+            if not heap:
                 self._raise_deadlock()
-            t, _seq, kind, data = heapq.heappop(self._heap)
+            t, _rank, _stable, _seq, kind, data = heappop(heap)
             if kind == "seg":
                 segment, epoch = data
                 thread = segment.thread
                 if thread.segment is not segment or segment.rate_epoch != epoch:
                     continue  # stale completion event
-                self.clock.advance_to(t)
+                advance_to(t)
                 self._advance_segment(segment)
                 if segment.remaining > _DONE_TOL * max(segment.total, 1.0):
                     raise SimulationError(
@@ -158,7 +217,7 @@ class SimKernel:
                 core, arm = data
                 if self._quantum_arm[core] != arm:
                     continue  # stale quantum event
-                self.clock.advance_to(t)
+                advance_to(t)
                 self._quantum_expired(core)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
@@ -200,8 +259,24 @@ class SimKernel:
             self._obs_event(event, thread)
 
     def _push(self, time: float, kind: str, data: Any) -> None:
+        """Queue an event under a deterministic, mode-independent key.
+
+        Same-time events order by (kind rank, core): quantum expiries
+        before segment completions, then by the core involved.  Keying ties
+        by push sequence instead would leak the *history* of pushes into
+        the schedule — the eager and lazy modes push different event sets,
+        so exact-tie timestamps would replay differently between them.
+        This canonical order matches the seed kernel's dominant case: the
+        eager reconfigure re-pushed every completion in core order after
+        each quantum was armed.
+        """
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, kind, data))
+        if kind == "seg":
+            core = data[0].thread.core
+            key = (time, 1, core if core is not None else -1)
+        else:  # quantum: data = (core, arm)
+            key = (time, 0, data[0])
+        heapq.heappush(self._heap, (*key, self._seq, kind, data))
 
     def _raise_deadlock(self) -> None:
         blocked = [
@@ -238,51 +313,187 @@ class SimKernel:
             raise SimulationError("segment updated backwards in time")
         if dt == 0:
             return
-        base_progress = dt / seg.slowdown
-        base_progress = min(base_progress, seg.remaining)
-        frac = base_progress / seg.total if seg.total > 0 else 1.0
+        # Absolute-form progress: remaining at ``now`` is a closed-form
+        # expression over the rate anchor, never an accumulated subtraction,
+        # so sparse and eager advance histories agree bit for bit.
+        new_remaining = seg.anchor_remaining - (now - seg.anchor_time) / seg.slowdown
+        if new_remaining < 0.0:
+            new_remaining = 0.0
+        base_progress = seg.remaining - new_remaining
+        if base_progress < 0.0:
+            base_progress = 0.0
+        # Resume-switch debt is folded into ``remaining`` but is not work:
+        # pay it off first (the switch happens at the head of the interval)
+        # so instruction/miss attribution fractions sum to exactly 1 over
+        # the segment's life even under repeated preemption.
+        work = base_progress
+        if seg.switch_debt > 0.0:
+            paid = min(seg.switch_debt, base_progress)
+            seg.switch_debt -= paid
+            work = base_progress - paid
+        frac = work / seg.total if seg.total > 0 else 1.0
         self.counters.instructions += seg.instructions * frac
         self.counters.llc_misses += seg.llc_misses * frac
         self.counters.cycles += dt
-        seg.remaining -= base_progress
+        seg.remaining = new_remaining
         seg.wall_consumed += dt
         seg.last_update = now
 
-    def _reconfigure(self) -> None:
-        """Advance all running segments, recompute contention rates (per
-        socket pool), and reschedule completion events."""
-        segs = self._running_segments()
-        for seg in segs:
-            self._advance_segment(seg)
-        self._epoch += 1
-        # Group segments by the socket of the core they run on; each socket
-        # pool solves its own bandwidth cap.
+    def _demand_transition(self, thread: SimThread, delta: int) -> None:
+        """A segment with nonzero demand started (+1) or stopped (-1)
+        running on ``thread``'s core: keep the global count and the core's
+        socket demand-set version in sync."""
+        self._demand_running += delta
+        if self.config.n_sockets == 1 or thread.core is None:
+            self._demand_ver[0] += 1
+        else:
+            self._demand_ver[self.config.socket_of(thread.core)] += 1
+
+    def _group_by_socket(
+        self, segs: list[ComputeSegment]
+    ) -> dict[int, list[ComputeSegment]]:
+        """Group running segments by the socket of the core they run on;
+        each socket pool solves its own bandwidth cap."""
+        if self.config.n_sockets == 1:
+            return {0: segs} if segs else {}
         by_socket: dict[int, list[ComputeSegment]] = {}
         for seg in segs:
             core = seg.thread.core
             socket = self.config.socket_of(core) if core is not None else 0
             by_socket.setdefault(socket, []).append(seg)
-        for socket, group in by_socket.items():
-            demands = [
-                SegmentDemand(seg.mem_fraction, seg.demand_bytes_per_sec)
-                for seg in group
-            ]
-            slowdowns = self.dram_pools[socket].slowdowns(demands)
-            if self.obs.enabled:
-                # Demanded vs achievable bandwidth as a counter track: the
-                # Perfetto step graph shows exactly when DRAM saturates.
-                self.obs.counter(
-                    f"dram{socket}.demand_gbs",
-                    ts=self._obs_now(),
-                    value=sum(d.demand_bytes_per_sec for d in demands) / 1e9,
-                    track=f"dram{socket}",
-                    cat="dram",
-                )
-            for seg, s in zip(group, slowdowns):
+        return by_socket
+
+    def _rerate_socket(
+        self, socket: int, group: list[ComputeSegment], sig: tuple
+    ) -> None:
+        """Full re-rate of one socket: advance, solve, re-push everything."""
+        for seg in group:
+            self._advance_segment(seg)
+        pool = self.dram_pools[socket]
+        demands = [
+            SegmentDemand(seg.mem_fraction, seg.demand_bytes_per_sec)
+            for seg in group
+        ]
+        # Same math as DramModel.slowdowns (1 - f + f*k), inlined so the
+        # solved stall factor can be cached alongside the signature.
+        k = pool.stall_multiplier(demands)
+        if self.obs.enabled:
+            # Demanded vs achievable bandwidth as a counter track: the
+            # Perfetto step graph shows exactly when DRAM saturates.
+            self.obs.counter(
+                f"dram{socket}.demand_gbs",
+                ts=self._obs_now(),
+                value=sum(d.demand_bytes_per_sec for d in demands) / 1e9,
+                track=f"dram{socket}",
+                cat="dram",
+            )
+        self._epoch += 1
+        epoch = self._epoch
+        now = self.clock.now
+        for seg in group:
+            f = seg.mem_fraction
+            s = 1.0 - f + f * k
+            if seg.rate_epoch == -1 or s != seg.slowdown:
+                # The rate really changed: re-anchor and fix the completion
+                # time once.  An unchanged rate keeps the anchor and the
+                # stored completion time verbatim, so re-pushing (eager
+                # mode) lands on the exact event the sparse mode kept.
                 seg.slowdown = s
-                seg.rate_epoch = self._epoch
-                eta = self.clock.now + seg.remaining * s
-                self._push(eta, "seg", (seg, self._epoch))
+                seg.anchor_time = now
+                seg.anchor_remaining = seg.remaining
+                seg.t_complete = now + seg.remaining * s
+            seg.rate_epoch = epoch
+            self._push(seg.t_complete, "seg", (seg, epoch))
+        self._socket_sig[socket] = sig
+        self._socket_k[socket] = k
+
+    def _reconfigure(self) -> None:
+        """Recompute contention rates (per socket pool) and reschedule
+        completion events.
+
+        In optimize mode a socket whose demand multiset is unchanged keeps
+        its solved stall factor and its in-heap completion events: only
+        segments attached since the last pass get an event, rated with the
+        cached factor.  This skips the DRAM solve *and* the O(running)
+        re-push entirely for the common cases — zero-demand FAKE replays
+        and steady-state homogeneous REAL sections."""
+        fresh = self._fresh_segs
+        if fresh:
+            self._fresh_segs = []
+        if (
+            self._optimize
+            and self._demand_running == 0
+            and not self.obs.enabled
+        ):
+            # Every running segment is demand-free: slowdowns are all 1.0
+            # by construction, continuing completion events stay valid, and
+            # only fresh segments need an event.  O(fresh), no solve.
+            if fresh:
+                now = self.clock.now
+                epoch = self._epoch
+                for seg in fresh:
+                    if seg.rate_epoch == -1 and seg.thread.core is not None:
+                        seg.slowdown = 1.0
+                        seg.anchor_time = now
+                        seg.anchor_remaining = seg.remaining
+                        seg.t_complete = now + seg.remaining * 1.0
+                        epoch += 1
+                        seg.rate_epoch = epoch
+                        self._push(seg.t_complete, "seg", (seg, epoch))
+                self._epoch = epoch
+            self.reconfig_skips += 1
+            return
+        if not self._optimize or self.obs.enabled:
+            # Eager seed path: advance + re-rate + re-push every pass.
+            # Tracing forces it so exported DRAM counter tracks keep one
+            # sample per running-set change, exactly as documented.
+            segs = self._running_segments()
+            for seg in segs:
+                self._advance_segment(seg)
+            for socket, group in self._group_by_socket(segs).items():
+                self._rerate_socket(socket, group, ())
+            self.reconfig_solves += 1
+            return
+        segs = self._running_segments()
+        solved = False
+        now = self.clock.now
+        for socket, group in self._group_by_socket(segs).items():
+            ver = self._demand_ver[socket]
+            if ver != self._socket_ver.get(socket):
+                # The demand set transitioned since the cached signature
+                # was taken: rebuild it (the multiset may still match,
+                # e.g. one missy segment swapped for an identical one).
+                sig = tuple(
+                    sorted(
+                        (seg.mem_fraction, seg.demand_bytes_per_sec)
+                        for seg in group
+                        if seg.demand_bytes_per_sec > 0.0
+                    )
+                )
+                self._socket_ver[socket] = ver
+                if sig != self._socket_sig.get(socket):
+                    self._rerate_socket(socket, group, sig)
+                    solved = True
+                    continue
+            # Unchanged multiset: continuing segments keep their rates and
+            # their pending completion events; only fresh ones need both.
+            if fresh:
+                k = self._socket_k[socket]
+                for seg in group:
+                    if seg.rate_epoch == -1:
+                        f = seg.mem_fraction
+                        s = 1.0 - f + f * k
+                        seg.slowdown = s
+                        seg.anchor_time = now
+                        seg.anchor_remaining = seg.remaining
+                        seg.t_complete = now + seg.remaining * s
+                        self._epoch += 1
+                        seg.rate_epoch = self._epoch
+                        self._push(seg.t_complete, "seg", (seg, self._epoch))
+        if solved:
+            self.reconfig_solves += 1
+        else:
+            self.reconfig_skips += 1
 
     def _dispatch_and_reconfigure(self) -> None:
         self._dispatch()
@@ -292,14 +503,31 @@ class SimKernel:
         """Fill idle cores from the ready queue until no assignment is
         possible.  Stepping a dispatched thread can wake or block others, so
         iterate to a fixed point."""
+        sched = self.scheduler
         while True:
+            if sched.idle_count == 0 or not sched.ready:
+                # Nothing to assign; still check for newly armed quanta
+                # (a waiter may have appeared for a busy core).
+                if self._optimize:
+                    self._ensure_quanta()
+                return
             assigned = False
             for core in self.scheduler.idle_cores():
                 thread = self.scheduler.pick_next(core)
                 if thread is None:
                     continue
                 self.scheduler.assign(thread, core)
-                self._arm_quantum(core)
+                if self._optimize:
+                    # Re-anchor the round-robin boundary; the expiry event
+                    # itself is armed lazily (only if a waiter shows up).
+                    self._quantum_arm[core] += 1
+                    self._q_armed[core] = False
+                    self._q_next[core] = (
+                        self.clock.now + self.config.timeslice_cycles
+                    )
+                    self._quanta_dirty = True
+                else:
+                    self._arm_quantum(core)
                 self._trace("dispatch", thread)
                 assigned = True
                 # Context-switch cost: the core picks up a different thread
@@ -322,29 +550,84 @@ class SimKernel:
                 self._last_tid[core] = thread.tid
                 if thread.segment is not None and thread.segment.remaining > 0:
                     # Resuming a preempted compute: reattach, rates fixed in
-                    # the caller's reconfigure pass.
-                    thread.segment.last_update = self.clock.now
-                    thread.segment.remaining += switch_cost
+                    # the caller's reconfigure pass.  The switch cost extends
+                    # the segment but is tracked as debt, not work, so
+                    # counter attribution stays exact.
+                    seg = thread.segment
+                    seg.last_update = self.clock.now
+                    seg.remaining += switch_cost
+                    seg.switch_debt += switch_cost
+                    seg.rate_epoch = -1
+                    self._fresh_segs.append(seg)
+                    if seg.demand_bytes_per_sec > 0.0:
+                        self._demand_transition(thread, +1)
                 else:
-                    thread.switch_debt = switch_cost  # type: ignore[attr-defined]
-                    self._step(thread, thread.pending_value)  # type: ignore[attr-defined]
+                    thread.switch_debt = switch_cost
+                    self._step(thread, thread.pending_value)
             if not assigned:
+                if self._optimize:
+                    self._ensure_quanta()
                 return
 
     def _arm_quantum(self, core: int) -> None:
         self._quantum_arm[core] += 1
+        self.quantum_arms += 1
         self._push(
             self.clock.now + self.config.timeslice_cycles,
             "quantum",
             (core, self._quantum_arm[core]),
         )
 
+    def _ensure_quanta(self) -> None:
+        """Lazily arm quantum expiry events for busy cores with waiters.
+
+        Called after every dispatch fixed point (the only place waiters can
+        appear).  Boundaries skipped while a core ran uncontended advance by
+        repeated ``+= timeslice`` — the identical float accumulation the
+        eager mode's re-arm chain performs — so when contention does appear
+        the next preemption lands on the same boundary bit for bit.
+        """
+        if not self._quanta_dirty:
+            return
+        sched = self.scheduler
+        if not sched.ready:
+            return
+        q = self.config.timeslice_cycles
+        now = self.clock.now
+        armed = self._q_armed
+        q_next = self._q_next
+        for core, thread in enumerate(sched.running):
+            if thread is None or armed[core]:
+                continue
+            if not sched.has_waiter_for(core):
+                continue
+            nxt = q_next[core]
+            while nxt <= now:
+                nxt += q
+            q_next[core] = nxt
+            armed[core] = True
+            self._quantum_arm[core] += 1
+            self.quantum_arms += 1
+            self._push(nxt, "quantum", (core, self._quantum_arm[core]))
+        if sched._unpinned_ready:
+            # Every busy core is now armed; stay clean until a dispatch or
+            # an expiry unarms one (pinned-only waiters stay conservative).
+            self._quanta_dirty = False
+
     def _quantum_expired(self, core: int) -> None:
+        if self._optimize:
+            self._q_armed[core] = False
+            self._quanta_dirty = True
         thread = self.scheduler.running[core]
         if thread is None:
             return
         if not self.scheduler.has_waiter_for(core):
-            self._arm_quantum(core)
+            if self._optimize:
+                # Keep the boundary phase; re-arm happens lazily if a
+                # waiter ever appears.
+                self._q_next[core] = self.clock.now + self.config.timeslice_cycles
+            else:
+                self._arm_quantum(core)
             return
         # Preempt: bank compute progress, requeue at the tail.
         if thread.segment is not None:
@@ -353,6 +636,8 @@ class SimKernel:
             # completion event must be invalidated here.
             self._epoch += 1
             thread.segment.rate_epoch = self._epoch
+            if thread.segment.demand_bytes_per_sec > 0.0:
+                self._demand_transition(thread, -1)
         self.scheduler.unassign(thread)
         self.preemptions += 1
         self._trace("preempt", thread)
@@ -360,9 +645,17 @@ class SimKernel:
         self._dispatch_and_reconfigure()
 
     def _complete_segment(self, thread: SimThread) -> None:
+        seg = thread.segment
+        if seg.demand_bytes_per_sec > 0.0:
+            self._demand_transition(thread, -1)
         thread.segment = None
+        # Retire the object for reuse by the thread's next attach: stale
+        # heap events still referencing it die on the epoch check (epochs
+        # are globally monotone and never reissued).
+        thread.seg_cache = seg
         self._step(thread, None)
-        self._dispatch_and_reconfigure()
+        self._dispatch()
+        self._reconfigure()
 
     # -- request handling ---------------------------------------------------------
 
@@ -370,98 +663,159 @@ class SimKernel:
         """Drive ``thread`` until it computes, blocks, or finishes.
 
         The thread must be RUNNING on a core.  Zero-time requests are handled
-        inline in a loop.
+        inline in a loop; requests dispatch through a type-keyed handler
+        table (one dict hit instead of an isinstance chain).  A handler
+        returns ``_SUSPEND`` when the thread stops being runnable here,
+        otherwise the value to send into the generator next.
         """
         if thread.state is not ThreadState.RUNNING:
             raise SimulationError(f"stepping non-running thread {thread!r}")
-        thread.pending_value = None  # type: ignore[attr-defined]
+        thread.pending_value = None
+        handlers = self._HANDLERS
         while True:
             try:
                 req = thread.gen.send(send_value)
             except StopIteration as stop:
                 self._finish(thread, stop.value)
                 return
-            send_value = None
+            handler = handlers.get(req.__class__)
+            if handler is None:
+                raise SimulationError(f"unknown request {req!r} from {thread!r}")
+            send_value = handler(self, thread, req)
+            if send_value is _SUSPEND:
+                return
 
-            if isinstance(req, Compute):
-                if req.cycles <= 0:
-                    self.counters.instructions += req.instructions
-                    self.counters.llc_misses += req.llc_misses
-                    continue
-                self._attach_segment(thread, req)
-                return
-            if isinstance(req, GetTime):
-                send_value = self.clock.now
-                continue
-            if isinstance(req, GetCurrentThread):
-                send_value = thread
-                continue
-            if isinstance(req, Spawn):
-                send_value = self.spawn(req.gen, name=req.name, affinity=req.affinity)
-                continue
-            if isinstance(req, Acquire):
-                if self._acquire(thread, req.mutex):
-                    continue
-                return  # blocked
-            if isinstance(req, Release):
-                self._release(thread, req.mutex)
-                continue
-            if isinstance(req, Join):
-                target = req.thread
-                if target.state is ThreadState.FINISHED:
-                    send_value = target.result
-                    continue
-                target.joiners.append(thread)
-                self._block(thread)
-                return
-            if isinstance(req, BarrierWait):
-                if self._barrier_wait(thread, req.barrier):
-                    continue
-                return  # blocked
-            if isinstance(req, EventWait):
-                if req.event.is_set:
-                    continue
-                req.event.waiters.append(thread)
-                self._block(thread)
-                return
-            if isinstance(req, EventSet):
-                self._event_set(req.event, req.wake)
-                continue
-            if isinstance(req, EventClear):
-                req.event.is_set = False
-                continue
-            if isinstance(req, YieldCpu):
-                self.scheduler.unassign(thread)
-                self._trace("yield", thread)
-                self.scheduler.make_ready(thread)
-                return
-            raise SimulationError(f"unknown request {req!r} from {thread!r}")
+    # Request handlers: one per request type, keyed by exact class in
+    # ``_HANDLERS``.  Each returns the generator's next send value or
+    # ``_SUSPEND`` when the thread computed, blocked, or yielded.
+
+    def _h_compute(self, thread: SimThread, req: Compute):
+        if req.cycles <= 0:
+            self.counters.instructions += req.instructions
+            self.counters.llc_misses += req.llc_misses
+            return None
+        self._attach_segment(thread, req)
+        return _SUSPEND
+
+    def _h_get_time(self, thread: SimThread, req: GetTime):
+        return self.clock.now
+
+    def _h_get_current(self, thread: SimThread, req: GetCurrentThread):
+        return thread
+
+    def _h_spawn(self, thread: SimThread, req: Spawn):
+        return self.spawn(req.gen, name=req.name, affinity=req.affinity)
+
+    def _h_acquire(self, thread: SimThread, req: Acquire):
+        return None if self._acquire(thread, req.mutex) else _SUSPEND
+
+    def _h_release(self, thread: SimThread, req: Release):
+        self._release(thread, req.mutex)
+        return None
+
+    def _h_join(self, thread: SimThread, req: Join):
+        target = req.thread
+        if target.state is ThreadState.FINISHED:
+            return target.result
+        target.joiners.append(thread)
+        self._block(thread)
+        return _SUSPEND
+
+    def _h_barrier(self, thread: SimThread, req: BarrierWait):
+        return None if self._barrier_wait(thread, req.barrier) else _SUSPEND
+
+    def _h_event_wait(self, thread: SimThread, req: EventWait):
+        if req.event.is_set:
+            return None
+        req.event.waiters.append(thread)
+        self._block(thread)
+        return _SUSPEND
+
+    def _h_event_set(self, thread: SimThread, req: EventSet):
+        self._event_set(req.event, req.wake)
+        return None
+
+    def _h_event_clear(self, thread: SimThread, req: EventClear):
+        req.event.is_set = False
+        return None
+
+    def _h_yield(self, thread: SimThread, req: YieldCpu):
+        self.scheduler.unassign(thread)
+        self._trace("yield", thread)
+        self.scheduler.make_ready(thread)
+        return _SUSPEND
+
+    _HANDLERS = {
+        Compute: _h_compute,
+        GetTime: _h_get_time,
+        GetCurrentThread: _h_get_current,
+        Spawn: _h_spawn,
+        Acquire: _h_acquire,
+        Release: _h_release,
+        Join: _h_join,
+        BarrierWait: _h_barrier,
+        EventWait: _h_event_wait,
+        EventSet: _h_event_set,
+        EventClear: _h_event_clear,
+        YieldCpu: _h_yield,
+    }
 
     def _attach_segment(self, thread: SimThread, req: Compute) -> None:
         cfg = self.config
         # Outstanding context-switch debt is paid as pure compute prepended
         # to the first segment after the switch.
-        debt = getattr(thread, "switch_debt", 0.0)
+        debt = thread.switch_debt
         if debt:
-            thread.switch_debt = 0.0  # type: ignore[attr-defined]
+            thread.switch_debt = 0.0
         cycles = req.cycles + debt
-        miss_stall = req.llc_misses * cfg.base_miss_stall
-        if cycles > 0:
-            mem_fraction = min(1.0, miss_stall / cycles)
-        else:
+        if req.llc_misses == 0.0:
+            # Demand-free segment (fake delays, dispatch overhead, pure
+            # compute): skip the stall/bandwidth math entirely.
             mem_fraction = 0.0
-        seconds = cfg.cycles_to_seconds(cycles) if cycles > 0 else 0.0
-        demand = (req.llc_misses * cfg.line_size / seconds) if seconds > 0 else 0.0
-        thread.segment = ComputeSegment(
-            thread=thread,
-            total=cycles,
-            remaining=cycles,
-            instructions=req.instructions,
-            llc_misses=req.llc_misses,
-            mem_fraction=mem_fraction,
-            demand_bytes_per_sec=demand,
-            last_update=self.clock.now,
-        )
+            demand = 0.0
+        else:
+            miss_stall = req.llc_misses * cfg.base_miss_stall
+            if cycles > 0:
+                mem_fraction = min(1.0, miss_stall / cycles)
+            else:
+                mem_fraction = 0.0
+            seconds = cfg.cycles_to_seconds(cycles) if cycles > 0 else 0.0
+            demand = (req.llc_misses * cfg.line_size / seconds) if seconds > 0 else 0.0
+        seg = thread.seg_cache
+        if seg is not None:
+            thread.seg_cache = None
+            seg.total = cycles
+            seg.remaining = cycles
+            seg.instructions = req.instructions
+            seg.llc_misses = req.llc_misses
+            seg.mem_fraction = mem_fraction
+            seg.demand_bytes_per_sec = demand
+            seg.last_update = self.clock.now
+            seg.slowdown = 1.0
+            seg.rate_epoch = -1
+            seg.wall_consumed = 0.0
+            seg.switch_debt = 0.0
+            seg.anchor_time = self.clock.now
+            seg.anchor_remaining = cycles
+            seg.t_complete = 0.0
+            thread.segment = seg
+        else:
+            thread.segment = seg = ComputeSegment(
+                thread=thread,
+                total=cycles,
+                remaining=cycles,
+                instructions=req.instructions,
+                llc_misses=req.llc_misses,
+                mem_fraction=mem_fraction,
+                demand_bytes_per_sec=demand,
+                last_update=self.clock.now,
+                rate_epoch=-1,
+                anchor_time=self.clock.now,
+                anchor_remaining=cycles,
+            )
+        self._fresh_segs.append(seg)
+        if demand > 0.0:
+            self._demand_transition(thread, +1)
 
     def _finish(self, thread: SimThread, result: Any) -> None:
         thread.result = result
@@ -499,7 +853,7 @@ class SimKernel:
                 cat="lock",
                 args={"lock": mutex.name, "owner": mutex.owner.name},
             )
-        get_metrics().inc("sim.lock.contended")
+        self.lock_contended += 1
         mutex.waiters.append(thread)
         self._block(thread)
         return False

@@ -40,6 +40,13 @@ class CpuScheduler:
         self.ready: Deque[SimThread] = deque()
         self.running: list[Optional[SimThread]] = [None] * n_cores
         self._stamp = 0
+        #: Ready threads with no affinity constraint.  Kept in sync by
+        #: make_ready/pick_next so ``has_waiter_for`` is O(1) in the common
+        #: all-unpinned case (it is called per core per dispatch round).
+        self._unpinned_ready = 0
+        #: Cores with no running thread; lets the kernel's dispatch loop
+        #: bail out O(1) when every core is busy (the common steady state).
+        self.idle_count = n_cores
         #: Tracer plus a clock accessor supplied by the owning kernel (the
         #: scheduler itself has no notion of time).
         self.obs = tracer if tracer is not None else get_tracer()
@@ -68,6 +75,8 @@ class CpuScheduler:
                 cat="state",
                 args={"front": front} if front else None,
             )
+        if thread.affinity is None:
+            self._unpinned_ready += 1
         if front:
             self.ready.appendleft(thread)
         else:
@@ -75,6 +84,10 @@ class CpuScheduler:
 
     def has_waiter_for(self, core: int) -> bool:
         """True if some ready thread may run on ``core``."""
+        if self._unpinned_ready:
+            return True
+        if not self.ready:
+            return False
         return any(self._allowed(t, core) for t in self.ready)
 
     @staticmethod
@@ -86,6 +99,8 @@ class CpuScheduler:
         for i, t in enumerate(self.ready):
             if self._allowed(t, core):
                 del self.ready[i]
+                if t.affinity is None:
+                    self._unpinned_ready -= 1
                 return t
         return None
 
@@ -100,6 +115,7 @@ class CpuScheduler:
         self.running[core] = thread
         thread.core = core
         thread.state = ThreadState.RUNNING
+        self.idle_count -= 1
 
     def unassign(self, thread: SimThread) -> int:
         """Remove ``thread`` from its core; returns the freed core id."""
@@ -108,6 +124,7 @@ class CpuScheduler:
             raise SimulationError(f"{thread!r} is not running on a core")
         self.running[core] = None
         thread.core = None
+        self.idle_count += 1
         return core
 
     def idle_cores(self) -> list[int]:

@@ -56,6 +56,7 @@ class SimThread:
         "ready_stamp",
         "pending_value",
         "switch_debt",
+        "seg_cache",
     )
 
     def __init__(
@@ -85,6 +86,9 @@ class SimThread:
         self.pending_value: Any = None
         #: Context-switch cost owed, paid by the next compute segment.
         self.switch_debt: float = 0.0
+        #: Retired :class:`ComputeSegment` reused by the next attach (the
+        #: kernel's epoch staleness checks make identity reuse safe).
+        self.seg_cache: Optional["ComputeSegment"] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimThread({self.tid}, {self.name!r}, {self.state.value})"
@@ -193,12 +197,18 @@ class EventClear:
     event: "SimEvent"
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputeSegment:
     """Kernel-internal progress record for an in-flight :class:`Compute`.
 
     ``remaining`` counts *base* cycles still owed.  ``rate_epoch`` lazily
     invalidates stale completion events after a rate reconfiguration.
+
+    ``switch_debt`` is context-switch cost added to ``remaining`` when a
+    preempted segment resumes on a cold core.  It is *not* part of
+    ``total``: counter attribution in ``_advance_segment`` pays the debt
+    off first, so instruction/miss fractions are computed against real
+    work only and sum to exactly 1 over the segment's life.
     """
 
     thread: SimThread
@@ -213,6 +223,17 @@ class ComputeSegment:
     rate_epoch: int = 0
     #: Wall cycles actually consumed so far (for counters/overhead checks).
     wall_consumed: float = 0.0
+    #: Outstanding resume-switch cycles folded into ``remaining``.
+    switch_debt: float = 0.0
+    #: Rate anchor: time and remaining when ``slowdown`` was last *changed*
+    #: (not merely re-confirmed).  Progress is always computed from the
+    #: anchor in closed form, so any number of intermediate observations
+    #: yields bitwise-identical ``remaining`` — the invariant that keeps
+    #: the event-sparse and eager kernels' timestamps exactly equal.
+    anchor_time: float = 0.0
+    anchor_remaining: float = 0.0
+    #: Completion time computed once per anchor; re-pushed verbatim.
+    t_complete: float = 0.0
 
     def progress_fraction(self) -> float:
         """Fraction of the segment's base cycles already executed."""

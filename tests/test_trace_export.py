@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.executor import ParallelExecutor, ReplayMode
 from repro.core.profiler import IntervalProfiler
+from repro.core.tree import Node, NodeKind, ProgramTree
 from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
 from repro.simhw import MachineConfig
 
@@ -121,6 +122,33 @@ class TestChromeTraceExport:
         assert section_spans[1]["ts"] > (
             section_spans[0]["ts"] + section_spans[0]["dur"]
         )
+
+    def test_repeated_section_emits_one_span_per_repeat(self):
+        # Tracing bypasses the per-call replay cache: a ``repeat=3`` section
+        # must appear as three back-to-back spans on the sections track, not
+        # one span stretched over a single cached replay.
+        root = Node(NodeKind.ROOT)
+        sec = root.add(Node(NodeKind.SEC, name="body", repeat=3))
+        task = sec.add(Node(NodeKind.TASK))
+        task.add(Node(NodeKind.U, length=40_000.0, cpu_cycles=40_000.0))
+        tracer = Tracer(enabled=True)
+        ex = ParallelExecutor(M2, tracer=tracer)
+        ex.execute_profile(ProgramTree(root), 2, ReplayMode.REAL)
+        data = to_chrome_trace(tracer.events(), freq_ghz=M2.freq_ghz)
+        tid_of = {
+            rec["args"]["name"]: rec["tid"]
+            for rec in data["traceEvents"]
+            if rec["ph"] == "M" and rec["name"] == "thread_name"
+        }
+        spans = [
+            rec
+            for rec in data["traceEvents"]
+            if rec["ph"] == "X" and rec["tid"] == tid_of["sections"]
+        ]
+        assert [s["name"] for s in spans] == ["body"] * 3
+        for earlier, later in zip(spans, spans[1:]):
+            assert later["ts"] >= earlier["ts"] + earlier["dur"] - 1e-9
+        assert all(s["dur"] > 0.0 for s in spans)
 
     def test_byte_determinism(self):
         profile = _profile()
