@@ -21,10 +21,16 @@ Commands
     simulated timeline as Chrome-trace/Perfetto JSON (one track per
     simulated core plus per-thread state tracks); open the file at
     https://ui.perfetto.dev.
+``check``
+    Validate the pipeline itself: run predictions with runtime invariant
+    checks enabled, differential-compare FF/SYN against the simulated
+    ground truth under the tolerance policy, and fuzz randomly generated
+    programs.  Non-zero exit on any violation (see docs/validation.md).
 
 ``predict`` and ``sweep`` accept ``--metrics`` to print the process-wide
 metrics registry (FF fast-path decisions, DRAM solves, preemptions, ...)
-after the run.
+after the run, and ``--selfcheck`` to enable the runtime invariant
+checker for the run (non-zero exit if anything trips).
 
 Examples::
 
@@ -34,6 +40,7 @@ Examples::
     python -m repro predict lu.json --schedules static,1 --no-real
     python -m repro sweep npb_ft,npb_cg --jobs 4 --methods ff,syn,real
     python -m repro trace npb_ft --threads 4 --out ft-trace.json
+    python -m repro check --quick
 """
 
 from __future__ import annotations
@@ -53,6 +60,54 @@ from repro.workloads import get_workload, workload_names
 
 def _parse_threads(text: str) -> list[int]:
     return [int(t) for t in text.split(",") if t.strip()]
+
+
+def _selfcheck_begin():
+    """Enable the process-global invariant checker in record mode.
+
+    Returns the checker and its previous state so in-process callers
+    (tests, ``benchmarks/run_all.py``) get it restored afterwards.  The
+    ``REPRO_VALIDATE`` environment variable is set too, so sweep worker
+    processes come up with their checker enabled (in the default raise
+    mode — a violation there surfaces as a structured task failure).
+    """
+    import os
+
+    from repro.validate import get_checker
+
+    checker = get_checker()
+    prev = (checker.enabled, checker.mode, os.environ.get("REPRO_VALIDATE"))
+    checker.enabled = True
+    checker.mode = "record"
+    checker.reset()
+    os.environ["REPRO_VALIDATE"] = "1"
+    return checker, prev
+
+
+def _selfcheck_end(checker, prev) -> int:
+    """Report recorded violations, restore checker state; 1 if any."""
+    import os
+
+    enabled, mode, env = prev
+    violations = list(checker.violations)
+    checks = checker.checks_run
+    checker.enabled, checker.mode = enabled, mode
+    checker.reset()
+    if env is None:
+        os.environ.pop("REPRO_VALIDATE", None)
+    else:
+        os.environ["REPRO_VALIDATE"] = env
+    if violations:
+        print(
+            f"selfcheck: {len(violations)} invariant violation(s) "
+            f"in {checks} check(s):",
+            file=sys.stderr,
+        )
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"selfcheck: {checks} invariant check(s), 0 violations")
+    return 0
 
 
 def _maybe_print_metrics(args: argparse.Namespace) -> None:
@@ -104,6 +159,9 @@ def cmd_predict(args: argparse.Namespace) -> int:
     """``predict``: run the emulators and (optionally) the ground truth."""
     if args.metrics:
         get_metrics().reset()
+    checker = prev = None
+    if args.selfcheck:
+        checker, prev = _selfcheck_begin()
     machine = _machine_from_args(args)
     prophet = ParallelProphet(machine=machine)
     threads = _parse_threads(args.threads)
@@ -147,6 +205,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 print(f"  {t:2d} threads: real {r:5.2f}x, predicted {p:5.2f}x "
                       f"(error {error_ratio(p, r):.1%})")
     _maybe_print_metrics(args)
+    if checker is not None:
+        return _selfcheck_end(checker, prev)
     return 0
 
 
@@ -186,6 +246,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.metrics:
         get_metrics().reset()
+    checker = prev = None
+    if args.selfcheck:
+        checker, prev = _selfcheck_begin()
     machine = _machine_from_args(args)
     prophet = ParallelProphet(machine=machine)
     threads = _parse_threads(args.threads)
@@ -215,6 +278,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         schedules=schedules,
         methods=methods,
         memory_model=not args.no_memory_model,
+        on_error="collect",
     )
     sections = []
     for name, report in reports.items():
@@ -225,7 +289,77 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.output).write_text("# Sweep report\n\n" + "\n".join(sections))
         print(f"\nwrote {args.output}")
     _maybe_print_metrics(args)
-    return 0
+    rc = 0
+    n_failed = sum(len(r.failures) for r in reports.values())
+    if n_failed:
+        # A partially-failed sweep must not exit 0: scripts piping this into
+        # reports would treat the (incomplete) grid as authoritative.
+        print(
+            f"warning: {n_failed} grid point(s) failed; "
+            "tables above are incomplete (see per-report failure footnotes)",
+            file=sys.stderr,
+        )
+        rc = 1
+    if checker is not None:
+        rc = max(rc, _selfcheck_end(checker, prev))
+    return rc
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``check``: differential FF/SYN/REAL validation + invariant checks.
+
+    Runs the full validation stack: the prediction pipeline with runtime
+    invariant checks enabled (record mode), a differential comparison of
+    every prediction method against the simulated ground truth under the
+    tolerance policy, and a deterministic fuzz pass over randomly generated
+    annotated programs.  Exits non-zero on any invariant violation or
+    unexplained FF/SYN-vs-REAL divergence.
+    """
+    from repro.validate import DifferentialHarness, run_fuzz
+
+    if args.quick:
+        workload_list = ["npb_ep"]
+        threads = [2, 4]
+        schedules = ["static"]
+        n_fuzz = 4
+        memory_model = False
+    else:
+        workload_list = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        threads = _parse_threads(args.threads)
+        schedules = args.schedules.split(";")
+        n_fuzz = args.fuzz
+        memory_model = not args.no_memory_model
+
+    checker, prev = _selfcheck_begin()
+    try:
+        machine = _machine_from_args(args)
+        prophet = ParallelProphet(machine=machine)
+        profiles = {}
+        for target in workload_list:
+            if Path(target).suffix == ".json" and Path(target).exists():
+                profiles[Path(target).stem] = load_profile(target)
+            else:
+                wl = get_workload(target)
+                profiles[wl.name] = prophet.profile(wl.program)
+        harness = DifferentialHarness(prophet)
+        print(
+            f"differential-validating {len(profiles)} workload(s) × "
+            f"{len(schedules)} schedule(s) × {len(threads)} thread count(s) ..."
+        )
+        report = harness.run(
+            profiles,
+            threads=threads,
+            schedules=schedules,
+            memory_model=memory_model,
+        )
+        if n_fuzz > 0:
+            print(f"fuzzing {n_fuzz} random program(s) (seed {args.seed}) ...")
+            report.merge(run_fuzz(n_programs=n_fuzz, seed=args.seed))
+        print(report.summary())
+        rc = 1 if report.violations else 0
+    finally:
+        check_rc = _selfcheck_end(checker, prev)
+    return max(rc, check_rc)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -339,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the process-wide metrics registry after predicting",
     )
+    p_predict.add_argument(
+        "--selfcheck", action="store_true",
+        help="run with runtime invariant checks on; non-zero exit on violation",
+    )
     _add_machine_args(p_predict)
     p_predict.set_defaults(func=cmd_predict)
 
@@ -384,8 +522,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the merged (parent + workers) metrics after the sweep",
     )
+    p_sweep.add_argument(
+        "--selfcheck", action="store_true",
+        help="run with runtime invariant checks on (workers inherit via "
+        "REPRO_VALIDATE); non-zero exit on violation",
+    )
     _add_machine_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_check = sub.add_parser(
+        "check",
+        help="validate the pipeline: invariants + FF/SYN/REAL differential "
+        "+ deterministic fuzz",
+    )
+    p_check.add_argument(
+        "--workloads", default="npb_ep,ompscr_lu",
+        help="comma-separated workload names and/or saved profile .json paths",
+    )
+    p_check.add_argument(
+        "--threads", default="2,4,8", help="comma-separated counts"
+    )
+    p_check.add_argument(
+        "--schedules", default="static",
+        help="semicolon-separated OpenMP schedules",
+    )
+    p_check.add_argument(
+        "--fuzz", type=int, default=8,
+        help="number of random fuzz programs (0 disables; default 8)",
+    )
+    p_check.add_argument(
+        "--seed", type=int, default=0, help="fuzz RNG seed (default 0)"
+    )
+    p_check.add_argument(
+        "--no-memory-model", action="store_true", help="disable burden factors"
+    )
+    p_check.add_argument(
+        "--quick", action="store_true",
+        help="small fixed configuration (one workload, t=2,4, 4 fuzz "
+        "programs, no memory model) for CI and benchmarks/run_all.py",
+    )
+    _add_machine_args(p_check)
+    p_check.set_defaults(func=cmd_check)
 
     p_trace = sub.add_parser(
         "trace",

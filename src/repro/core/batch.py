@@ -49,6 +49,7 @@ from repro.errors import BatchError, ConfigurationError
 from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import RuntimeOverheads
 from repro.runtime.tasks import Schedule
+from repro.validate.invariants import get_checker, has_nested_sections
 
 #: Prediction methods a sweep task may request.
 SWEEP_METHODS = ("ff", "syn", "real")
@@ -178,6 +179,22 @@ def _predict_point(
                     speedup=result.speedup,
                 )
             )
+    inv = get_checker()
+    if inv.enabled:
+        # Workers inherit REPRO_VALIDATE through the environment, and a
+        # raise-mode violation here becomes a structured SweepTaskFailure
+        # via _run_taskset's existing error plumbing.
+        nested = has_nested_sections(profile.tree)
+        for e in estimates:
+            inv.check_speedup(
+                e.method,
+                e.speedup,
+                e.n_threads,
+                profile.machine.n_cores,
+                nested,
+                where=f"batch:{task.workload}/{e.method}"
+                f"/{e.schedule}/t={e.n_threads}",
+            )
     return estimates
 
 
@@ -210,6 +227,15 @@ def _run_taskset(
     metrics = get_metrics()
     if collect_metrics:
         metrics.reset()
+        inv = get_checker()
+        if inv.enabled:
+            # Fork-started pool workers inherit the parent's checker
+            # verbatim — including the CLI's record mode, whose collected
+            # violations would die with the worker process.  Force raise
+            # mode: the except below turns a violation into a structured
+            # SweepTaskFailure that survives the trip back to the parent.
+            inv.mode = "raise"
+            inv.reset()
     ff = FastForwardEmulator(overheads)
     executors: dict[tuple[str, str], ParallelExecutor] = {}
     results: list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]] = []

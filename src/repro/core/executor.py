@@ -42,6 +42,7 @@ from repro.simos import (
     SimKernel,
     SimMutex,
 )
+from repro.validate.invariants import get_checker
 
 
 class ReplayMode(enum.Enum):
@@ -250,6 +251,10 @@ class ParallelExecutor:
         #: executor advances ``obs.offset`` between top-level sections so
         #: all per-section kernel runs land on one program-wide timeline.
         self.obs = tracer if tracer is not None else get_tracer()
+        #: Runtime invariant checker (``repro.validate``): while enabled, a
+        #: deterministic sample of section-memo hits is re-verified against
+        #: an exact uncached replay.
+        self.inv = get_checker()
 
     def _make_kernel(self) -> SimKernel:
         return SimKernel(
@@ -455,6 +460,16 @@ class ParallelExecutor:
             if run is not None:
                 m.inc("replay.section_memo.hits")
                 m.inc("replay.sections")
+                if self.inv.enabled and self.inv.sample_memo_hit():
+                    fresh = self._execute_section_uncached(
+                        sec, n_threads, mode, burden
+                    )
+                    self.inv.check_memo_parity(
+                        run,
+                        fresh,
+                        where=f"{self.paradigm}/{self.schedule.label}"
+                        f"/t={n_threads}/{sec.name}",
+                    )
                 return run
             m.inc("replay.section_memo.misses")
         run = self._execute_section_uncached(sec, n_threads, mode, burden)

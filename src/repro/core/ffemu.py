@@ -37,6 +37,7 @@ from repro.errors import EmulationError
 from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
 from repro.runtime.tasks import Schedule, ScheduleKind
+from repro.validate.invariants import get_checker
 
 
 @dataclass
@@ -115,6 +116,9 @@ class FastForwardEmulator:
         self.fast_path = fast_path
         #: Structured event tracer (defaults to the process-global one).
         self.obs = tracer if tracer is not None else get_tracer()
+        #: Runtime invariant checker: per-section FF speedups are bounded
+        #: by the abstract machine's CPU count while enabled.
+        self.inv = get_checker()
         #: Tree-node visits performed by the last emulate_profile call — the
         #: FF's dominant cost (the paper reports 30×+ slowdowns on FFT from
         #: exactly this traversal plus heap pressure).
@@ -192,6 +196,17 @@ class FastForwardEmulator:
                 )
             else:  # pragma: no cover - validated trees
                 raise EmulationError(f"unexpected top-level node {item!r}")
+            if self.inv.enabled:
+                # The abstract machine has exactly n_threads CPUs, so no
+                # section may beat them (float noise aside).
+                self.inv.check_speedup(
+                    "ff",
+                    results[-1].speedup,
+                    n_threads,
+                    n_threads,
+                    nested=False,
+                    where=f"ff:{results[-1].name}",
+                )
             if traced:
                 # One span per top-level section on the predicted timeline,
                 # tagged with the fast-path-vs-heap-walk decision.

@@ -35,6 +35,7 @@ from repro.obs import get_tracer
 from repro.runtime.overhead import DEFAULT_OVERHEADS, RuntimeOverheads
 from repro.runtime.tasks import Schedule
 from repro.simhw.machine import WESTMERE_12, MachineConfig
+from repro.validate.invariants import get_checker, has_nested_sections
 
 
 class ParallelProphet:
@@ -53,6 +54,9 @@ class ParallelProphet:
         self.overheads = overheads
         #: Tracer forwarded to every emulator/executor this facade builds.
         self.obs = tracer if tracer is not None else get_tracer()
+        #: Runtime invariant checker: every estimate leaving this facade is
+        #: bounds-checked against its machine's concurrency while enabled.
+        self.inv = get_checker()
         self.profiler = IntervalProfiler(
             machine,
             compress=compress,
@@ -180,6 +184,8 @@ class ParallelProphet:
                 if syn is not None:
                     run = syn.predict(profile, t, use_memory_model=memory_model)
                     report.add(run.estimate)
+        if self.inv.enabled:
+            self._check_estimates(profile, report, "predict")
         return report
 
     # --------------------------------------------------------------- ground truth
@@ -213,4 +219,21 @@ class ParallelProphet:
                     speedup=result.speedup,
                 )
             )
+        if self.inv.enabled:
+            self._check_estimates(profile, report, "measure_real")
         return report
+
+    def _check_estimates(
+        self, profile: ProgramProfile, report: SpeedupReport, where: str
+    ) -> None:
+        """Bounds-check every estimate of ``report`` (invariant checker on)."""
+        nested = has_nested_sections(profile.tree)
+        for e in report.estimates:
+            self.inv.check_speedup(
+                e.method,
+                e.speedup,
+                e.n_threads,
+                self.machine.n_cores,
+                nested,
+                where=f"{where}:{e.method}/{e.schedule}/t={e.n_threads}",
+            )

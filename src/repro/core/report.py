@@ -129,6 +129,12 @@ class SpeedupReport:
                 f"{by_t[t]:.2f}" if t in by_t else "-" for t in threads
             )
             lines.append(f"| {label} | {paradigm} | {schedule} | {cells} |")
+        if self.failures:
+            lines.append("")
+            lines.append(
+                f"*({len(self.failures)} grid point(s) failed; "
+                "see report.failures)*"
+            )
         return "\n".join(lines)
 
     def __len__(self) -> int:

@@ -31,6 +31,31 @@ FORMAT_VERSION = 1
 
 # ------------------------------------------------------------------ tree
 
+#: Per-node scalar fields, derived from ``Node.__slots__`` the same way the
+#: machine dict is derived from ``fields(MachineConfig)``: a hand-written
+#: list silently dropped ``pipeline`` when it was added after the seed, so
+#: any slot added to Node later is serialised automatically.  ``kind`` is
+#: encoded by value and ``children`` by id reference, so both are excluded.
+_NODE_SCALAR_FIELDS = tuple(
+    s for s in Node.__slots__ if s not in ("kind", "children")
+)
+
+#: The subset of scalar fields the Node constructor accepts; anything else
+#: (``pipeline`` today) is restored by attribute assignment after build.
+_NODE_CTOR_FIELDS = (
+    "name",
+    "length",
+    "lock_id",
+    "repeat",
+    "cpu_cycles",
+    "instructions",
+    "llc_misses",
+    "nowait",
+)
+
+#: Measurement fields that must load as non-negative numbers.
+_NODE_COUNTER_FIELDS = ("cpu_cycles", "instructions", "llc_misses")
+
 
 def tree_to_dict(tree: ProgramTree) -> dict[str, Any]:
     """Flatten a (possibly DAG-shaped) tree into an id-keyed node table."""
@@ -48,15 +73,7 @@ def tree_to_dict(tree: ProgramTree) -> dict[str, Any]:
         nodes.append({})
         nodes[idx] = {
             "kind": node.kind.value,
-            "name": node.name,
-            "length": node.length,
-            "lock_id": node.lock_id,
-            "repeat": node.repeat,
-            "cpu_cycles": node.cpu_cycles,
-            "instructions": node.instructions,
-            "llc_misses": node.llc_misses,
-            "nowait": node.nowait,
-            "pipeline": node.pipeline,
+            **{f: getattr(node, f) for f in _NODE_SCALAR_FIELDS},
             "children": [visit(c) for c in node.children],
         }
         return idx
@@ -66,7 +83,11 @@ def tree_to_dict(tree: ProgramTree) -> dict[str, Any]:
 
 
 def tree_from_dict(data: dict[str, Any]) -> ProgramTree:
-    """Rebuild a tree/DAG from :func:`tree_to_dict` output."""
+    """Rebuild a tree/DAG from :func:`tree_to_dict` output.
+
+    Malformed node tables (missing fields, wrong types, negative
+    measurements) raise :class:`~repro.errors.ConfigurationError` rather
+    than leaking bare ``KeyError``/``ValueError`` from deep inside."""
     raw_nodes = data["nodes"]
     built: list[Node | None] = [None] * len(raw_nodes)
 
@@ -75,18 +96,28 @@ def tree_from_dict(data: dict[str, Any]) -> ProgramTree:
         if cached is not None:
             return cached
         raw = raw_nodes[idx]
-        node = Node(
-            NodeKind(raw["kind"]),
-            name=raw["name"],
-            length=raw["length"],
-            lock_id=raw["lock_id"],
-            repeat=raw["repeat"],
-            cpu_cycles=raw["cpu_cycles"],
-            instructions=raw["instructions"],
-            llc_misses=raw["llc_misses"],
-            nowait=raw["nowait"],
-        )
-        node.pipeline = raw.get("pipeline", False)
+        try:
+            for f in _NODE_COUNTER_FIELDS:
+                value = raw[f]
+                if value < 0:
+                    raise ConfigurationError(
+                        f"node {idx}: {f} must be >= 0, got {value!r}"
+                    )
+            node = Node(
+                NodeKind(raw["kind"]),
+                **{f: raw[f] for f in _NODE_CTOR_FIELDS},
+            )
+        except ConfigurationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed node {idx} in profile data: {exc!r}"
+            ) from exc
+        # Slots outside the constructor signature round-trip by assignment
+        # (absent in older files: keep the freshly-built node's default).
+        for f in _NODE_SCALAR_FIELDS:
+            if f not in _NODE_CTOR_FIELDS and f in raw:
+                setattr(node, f, raw[f])
         built[idx] = node
         node.children = [build(c) for c in raw["children"]]
         return node
@@ -141,42 +172,65 @@ def profile_to_dict(profile: ProgramProfile) -> dict[str, Any]:
 
 
 def profile_from_dict(data: dict[str, Any]) -> ProgramProfile:
-    """Rebuild a profile serialised by :func:`profile_to_dict`."""
+    """Rebuild a profile serialised by :func:`profile_to_dict`.
+
+    Any structural defect in the loaded data — missing keys, wrong types,
+    negative-valued counters or burdens — surfaces as
+    :class:`~repro.errors.ConfigurationError`, never a bare
+    ``KeyError``/``ValueError`` (profiles are the format users hand-edit
+    and pass between machines, so load errors must say what is wrong)."""
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported profile format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    machine = MachineConfig(**data["machine"])
-    tree = tree_from_dict(data["tree"])
-    sections = {
-        name: SectionCounters(
-            name=name,
-            total=CounterSet(
-                instructions=raw["instructions"],
-                cycles=raw["cycles"],
-                llc_misses=raw["llc_misses"],
-            ),
-            invocations=raw["invocations"],
+    try:
+        machine = MachineConfig(**data["machine"])
+        tree = tree_from_dict(data["tree"])
+        sections = {}
+        for name, raw in data["sections"].items():
+            for f in ("instructions", "cycles", "llc_misses", "invocations"):
+                if raw[f] < 0:
+                    raise ConfigurationError(
+                        f"section {name!r}: {f} must be >= 0, got {raw[f]!r}"
+                    )
+            sections[name] = SectionCounters(
+                name=name,
+                total=CounterSet(
+                    instructions=raw["instructions"],
+                    cycles=raw["cycles"],
+                    llc_misses=raw["llc_misses"],
+                ),
+                invocations=raw["invocations"],
+            )
+        stats = ProfileStats(**data["stats"])
+        compression = (
+            CompressionStats(**data["compression"])
+            if data.get("compression") is not None
+            else None
         )
-        for name, raw in data["sections"].items()
-    }
-    stats = ProfileStats(**data["stats"])
-    compression = (
-        CompressionStats(**data["compression"])
-        if data.get("compression") is not None
-        else None
-    )
-    profile = ProgramProfile(
-        tree=tree,
-        sections=sections,
-        machine=machine,
-        stats=stats,
-        compression=compression,
-    )
-    for name, table in data.get("burdens", {}).items():
-        profile.burdens[name] = {int(t): beta for t, beta in table.items()}
+        profile = ProgramProfile(
+            tree=tree,
+            sections=sections,
+            machine=machine,
+            stats=stats,
+            compression=compression,
+        )
+        for name, table in data.get("burdens", {}).items():
+            for t, beta in table.items():
+                if beta < 0:
+                    raise ConfigurationError(
+                        f"burden for {name!r} at t={t}: "
+                        f"must be >= 0, got {beta!r}"
+                    )
+            profile.burdens[name] = {int(t): beta for t, beta in table.items()}
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ConfigurationError(
+            f"malformed profile data: {exc!r}"
+        ) from exc
     return profile
 
 

@@ -47,6 +47,16 @@ class EmulationError(ReproError):
     it cannot emulate, e.g. an unknown node kind or an unsupported paradigm."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant check failed (:mod:`repro.validate.invariants`).
+
+    Raised only while the invariant checker is enabled in ``"raise"`` mode;
+    in ``"record"`` mode violations are collected on the checker instead.
+    The message carries the check name, the instrumentation site, and the
+    observed-vs-expected values.
+    """
+
+
 class BatchError(ReproError):
     """One or more grid points of a batch sweep failed.
 

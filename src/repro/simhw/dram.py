@@ -207,6 +207,17 @@ class DramModel:
                 break
         return 0.5 * (lo + hi)
 
+    @property
+    def peak_bytes_per_sec(self) -> float:
+        """The pool's configured peak bandwidth cap (bytes/s)."""
+        return self._peak
+
+    def achieved_bandwidth(
+        self, segments: Sequence[SegmentDemand], k: float
+    ) -> float:
+        """A(k) — aggregate achieved bytes/s at stall multiplier ``k``."""
+        return self._achieved(segments, k)
+
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters plus current and maximum cache size."""
         return {

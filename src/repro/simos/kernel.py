@@ -35,6 +35,7 @@ from repro.simhw.dram import DramModel, SegmentDemand
 from repro.simhw.machine import MachineConfig
 from repro.simos.scheduler import CpuScheduler
 from repro.simos.sync import SimBarrier, SimEvent, SimMutex
+from repro.validate.invariants import get_checker
 from repro.simos.thread import (
     Acquire,
     BarrierWait,
@@ -86,6 +87,15 @@ class SimKernel:
         self._obs_t0 = self.obs.offset
         #: (core, dispatch time) per running thread tid, for span emission.
         self._obs_running: dict[int, tuple[int, float]] = {}
+        #: Runtime invariant checker (``repro.validate``); same discipline
+        #: as the tracer — every hook is one attribute test when disabled.
+        self.inv = get_checker()
+        #: Base compute cycles handed to this kernel (attach totals plus
+        #: resume-switch costs), for the end-of-run conservation check.
+        self._inv_cycles_in = 0.0
+        #: True once any segment carried memory demand: slowdowns may then
+        #: exceed 1, so conservation becomes a lower bound, not an equality.
+        self._inv_any_demand = False
         self.scheduler = CpuScheduler(
             config.n_cores, tracer=self.obs, now=self._obs_now
         )
@@ -197,10 +207,13 @@ class SimKernel:
         heap = self._heap
         heappop = heapq.heappop
         advance_to = self.clock.advance_to
+        inv = self.inv
         while self._live > 0:
             if not heap:
                 self._raise_deadlock()
             t, _rank, _stable, _seq, kind, data = heappop(heap)
+            if inv.enabled:
+                inv.check_event_time(t, self.clock.now)
             if kind == "seg":
                 segment, epoch = data
                 thread = segment.thread
@@ -221,6 +234,13 @@ class SimKernel:
                 self._quantum_expired(core)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
+        if inv.enabled:
+            inv.check_work_conservation(
+                self._inv_cycles_in,
+                self.counters.cycles,
+                exact=not self._inv_any_demand,
+                where="kernel.run",
+            )
         return self.clock.now
 
     # ------------------------------------------------------------- internals
@@ -332,6 +352,8 @@ class SimKernel:
             seg.switch_debt -= paid
             work = base_progress - paid
         frac = work / seg.total if seg.total > 0 else 1.0
+        if self.inv.enabled and seg.inv_frac >= 0.0:
+            seg.inv_frac += frac
         self.counters.instructions += seg.instructions * frac
         self.counters.llc_misses += seg.llc_misses * frac
         self.counters.cycles += dt
@@ -377,6 +399,8 @@ class SimKernel:
         # Same math as DramModel.slowdowns (1 - f + f*k), inlined so the
         # solved stall factor can be cached alongside the signature.
         k = pool.stall_multiplier(demands)
+        if self.inv.enabled:
+            self.inv.check_dram_cap(pool, demands, k)
         if self.obs.enabled:
             # Demanded vs achievable bandwidth as a counter track: the
             # Perfetto step graph shows exactly when DRAM saturates.
@@ -557,6 +581,11 @@ class SimKernel:
                     seg.last_update = self.clock.now
                     seg.remaining += switch_cost
                     seg.switch_debt += switch_cost
+                    if self.inv.enabled:
+                        # Resume-switch cost is real busy time the kernel
+                        # will account; count it as cycles-in so the
+                        # conservation check stays an equality.
+                        self._inv_cycles_in += switch_cost
                     seg.rate_epoch = -1
                     self._fresh_segs.append(seg)
                     if seg.demand_bytes_per_sec > 0.0:
@@ -646,6 +675,8 @@ class SimKernel:
 
     def _complete_segment(self, thread: SimThread) -> None:
         seg = thread.segment
+        if self.inv.enabled:
+            self.inv.check_segment_complete(seg)
         if seg.demand_bytes_per_sec > 0.0:
             self._demand_transition(thread, -1)
         thread.segment = None
@@ -798,6 +829,7 @@ class SimKernel:
             seg.anchor_time = self.clock.now
             seg.anchor_remaining = cycles
             seg.t_complete = 0.0
+            seg.inv_frac = -1.0
             thread.segment = seg
         else:
             thread.segment = seg = ComputeSegment(
@@ -813,6 +845,11 @@ class SimKernel:
                 anchor_time=self.clock.now,
                 anchor_remaining=cycles,
             )
+        if self.inv.enabled:
+            seg.inv_frac = 0.0
+            self._inv_cycles_in += cycles
+            if demand > 0.0:
+                self._inv_any_demand = True
         self._fresh_segs.append(seg)
         if demand > 0.0:
             self._demand_transition(thread, +1)

@@ -234,6 +234,11 @@ class ComputeSegment:
     anchor_remaining: float = 0.0
     #: Completion time computed once per anchor; re-pushed verbatim.
     t_complete: float = 0.0
+    #: Attribution-fraction accumulator for the invariant checker: the sum
+    #: of per-advance ``work/total`` fractions, expected to reach exactly 1
+    #: at completion.  −1.0 while the checker is disabled (the sentinel
+    #: keeps a mid-run enable from producing false positives).
+    inv_frac: float = -1.0
 
     def progress_fraction(self) -> float:
         """Fraction of the segment's base cycles already executed."""

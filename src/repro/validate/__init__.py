@@ -1,0 +1,46 @@
+"""Standing validation layer: runtime invariants + differential harness.
+
+Two complementary tools (see ``docs/validation.md``):
+
+- :mod:`repro.validate.invariants` — cheap runtime checks wired into the
+  kernel, executors, and emulators behind a single flag
+  (``REPRO_VALIDATE=1`` or ``get_checker().enabled = True``);
+- :mod:`repro.validate.differential` — FF vs SYN vs REAL cross-validation
+  over a workload grid, classifying every discrepancy as ok, expected
+  divergence (e.g. the paper's Fig. 7 FF nested-parallelism
+  underprediction), or violation;
+- :mod:`repro.validate.fuzz` — a seeded deterministic program generator
+  driving the differential harness (shared with ``test_fuzz_pipeline``).
+"""
+
+from repro.validate.differential import (
+    DiffRecord,
+    DifferentialHarness,
+    DifferentialReport,
+    GridPoint,
+    TolerancePolicy,
+)
+from repro.validate.fuzz import build_program, generate_program, run_fuzz
+from repro.validate.invariants import (
+    InvariantChecker,
+    Violation,
+    get_checker,
+    has_nested_sections,
+    set_checker,
+)
+
+__all__ = [
+    "DiffRecord",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "GridPoint",
+    "InvariantChecker",
+    "TolerancePolicy",
+    "Violation",
+    "build_program",
+    "generate_program",
+    "get_checker",
+    "has_nested_sections",
+    "run_fuzz",
+    "set_checker",
+]

@@ -1,0 +1,133 @@
+"""Deterministic fuzz driver for the differential harness.
+
+Shares one program-description format with ``tests/test_fuzz_pipeline.py``:
+a program is a list of top-level items, each either a ``float`` (serial
+compute of that many cycles) or ``("sec", tasks)`` where ``tasks`` is a list
+of ``(ops, nested)`` bodies, ``ops`` a list of
+``("compute", cycles, mem_spec, lock_id)`` leaves and ``nested`` a list of
+sub-section descriptions.  :func:`build_program` turns a description into an
+annotated program; the Hypothesis strategies in the test generate
+descriptions randomly, :func:`generate_program` here does the same from a
+seeded ``random.Random`` so ``repro check --fuzz`` is reproducible
+bit-for-bit from its seed.
+
+:func:`run_fuzz` feeds the generated programs through the full pipeline
+(profile → FF/SYN predict → REAL replay) under the differential harness,
+with the invariant checker active if the caller enabled it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.validate.differential import (
+    DifferentialHarness,
+    DifferentialReport,
+    TolerancePolicy,
+)
+
+#: Smallest fuzz leaf, in cycles.  The synthesizer subtracts the longest
+#: per-worker traversal overhead (Fig. 8 line 26), so on trees of tiny
+#: leaves the residual is unbounded relative to the work; the agreement
+#: claims only apply where leaves dwarf the ~100-cycle per-node cost
+#: (see tests/test_fuzz_pipeline.py::test_fake_matches_real_without_memory).
+MIN_LEAF_CYCLES = 5_000.0
+
+
+def _run_section(tr, desc, counter):
+    _, tasks = desc
+    name = f"s{counter[0]}"
+    counter[0] += 1
+    with tr.section(name):
+        for ops, nested in tasks:
+            with tr.task():
+                for _, cycles, mem, lock in ops:
+                    if lock is not None:
+                        with tr.lock(lock):
+                            tr.compute(cycles, mem=mem)
+                    else:
+                        tr.compute(cycles, mem=mem)
+                for sub in nested:
+                    _run_section(tr, sub, counter)
+
+
+def build_program(items):
+    """An annotated program callable from a program description."""
+
+    def program(tr):
+        counter = [0]
+        for item in items:
+            if isinstance(item, float):
+                tr.compute(item)
+            else:
+                _run_section(tr, item, counter)
+
+    return program
+
+
+def generate_program(rng: random.Random, max_depth: int = 2) -> list:
+    """One random program description, drawn deterministically from ``rng``.
+
+    Leaves carry no memory specs (memory-free programs are where FAKE/REAL
+    agreement is exact, so any divergence is a real finding, not model
+    noise) and respect :data:`MIN_LEAF_CYCLES`; sections occasionally nest
+    and leaves occasionally take one of two locks.
+    """
+
+    def leaf() -> tuple:
+        lock = rng.choice([None, None, None, 1, 2])
+        cycles = rng.uniform(MIN_LEAF_CYCLES, 200_000.0)
+        return ("compute", cycles, None, lock)
+
+    def section(depth: int) -> tuple:
+        tasks = []
+        for _ in range(rng.randint(1, 4)):
+            ops = [leaf() for _ in range(rng.randint(1, 3))]
+            nested = []
+            if depth > 0 and rng.random() < 0.3:
+                nested = [section(depth - 1)]
+            tasks.append((ops, nested))
+        return ("sec", tasks)
+
+    items: list = []
+    for _ in range(rng.randint(1, 4)):
+        if rng.random() < 0.4:
+            items.append(rng.uniform(MIN_LEAF_CYCLES, 100_000.0))
+        else:
+            items.append(section(max_depth))
+    return items
+
+
+def run_fuzz(
+    n_programs: int = 10,
+    seed: int = 0,
+    machine=None,
+    threads: Sequence[int] = (2, 4),
+    policy: Optional[TolerancePolicy] = None,
+) -> DifferentialReport:
+    """Differential-validate ``n_programs`` seeded random programs.
+
+    Profiles each generated program on ``machine`` with zeroed runtime
+    overheads (the fuzz trees are synthetic; overhead subtraction noise
+    would only blur the comparison) and runs the FF/SYN/REAL differential
+    harness with ``memory_model=False`` — the programs are memory-free by
+    construction.  Returns the merged :class:`DifferentialReport`.
+    """
+    from repro.core.profiler import IntervalProfiler
+    from repro.core.prophet import ParallelProphet
+    from repro.runtime import RuntimeOverheads
+    from repro.simhw import MachineConfig
+
+    if machine is None:
+        machine = MachineConfig(n_cores=4)
+    rng = random.Random(seed)
+    overheads = RuntimeOverheads().scaled(0.0)
+    prophet = ParallelProphet(machine=machine, overheads=overheads)
+    profiler = IntervalProfiler(machine)
+    profiles = {}
+    for i in range(n_programs):
+        items = generate_program(rng)
+        profiles[f"fuzz-{seed}-{i}"] = profiler.profile(build_program(items))
+    harness = DifferentialHarness(prophet, policy=policy)
+    return harness.run(profiles, threads=list(threads), memory_model=False)

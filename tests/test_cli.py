@@ -237,6 +237,118 @@ class TestDiagnose:
         assert "dominant cause" in out
 
 
+class TestSweepFailureExit:
+    def test_sweep_with_failing_grid_points_exits_nonzero(self, capsys):
+        """An unparsable schedule is deferred to the workers, fails there,
+        and is collected — the CLI must warn on stderr and exit 1 rather
+        than present the partial grid as authoritative."""
+        rc = main(
+            [
+                "sweep",
+                "npb_ep",
+                "--threads",
+                "2",
+                "--schedules",
+                "bogus_sched",
+                "--no-memory-model",
+                "--cores",
+                "4",
+            ]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "grid point(s) failed" in captured.err
+        assert "grid point(s) failed" in captured.out  # table footnote too
+
+    def test_clean_sweep_exits_zero(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "npb_ep",
+                "--threads",
+                "2",
+                "--no-memory-model",
+                "--cores",
+                "4",
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestSelfcheck:
+    def test_predict_selfcheck_passes_and_restores_checker(self, capsys):
+        from repro.validate import get_checker
+
+        before = (get_checker().enabled, get_checker().mode)
+        rc = main(
+            [
+                "predict",
+                "npb_ep",
+                "--threads",
+                "2,4",
+                "--no-memory-model",
+                "--cores",
+                "4",
+                "--selfcheck",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selfcheck:" in out and "0 violations" in out
+        assert (get_checker().enabled, get_checker().mode) == before
+
+    def test_sweep_selfcheck_passes(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "npb_ep",
+                "--threads",
+                "2",
+                "--methods",
+                "syn,real",
+                "--no-memory-model",
+                "--cores",
+                "4",
+                "--selfcheck",
+            ]
+        )
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_check_quick_passes(self, capsys):
+        from repro.validate import get_checker
+
+        before = (get_checker().enabled, get_checker().mode)
+        rc = main(["check", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "differential:" in out
+        assert "0 violation(s)" in out
+        assert "0 violations" in out  # invariant selfcheck line
+        assert (get_checker().enabled, get_checker().mode) == before
+
+    def test_check_explicit_grid(self, capsys):
+        rc = main(
+            [
+                "check",
+                "--workloads",
+                "npb_ep",
+                "--threads",
+                "2",
+                "--fuzz",
+                "2",
+                "--no-memory-model",
+                "--cores",
+                "4",
+            ]
+        )
+        assert rc == 0
+        assert "grid point(s)" in capsys.readouterr().out
+
+
 class TestParadigmChoices:
     def test_omp_task_paradigm_accepted(self, capsys):
         assert (

@@ -94,3 +94,39 @@ class TestMarkdown:
     def test_markdown_memory_flag(self):
         md = SpeedupReport([est(mem=True)]).to_markdown()
         assert "syn+mem" in md
+
+
+class TestFailureFootnote:
+    """Both renderers must disclose attached sweep failures (the markdown
+    renderer used to silently omit the footnote ``to_table`` printed, so a
+    partial grid looked complete in saved reports)."""
+
+    def _report_with_failures(self):
+        from repro.core.batch import SweepTaskFailure
+
+        report = SpeedupReport([est(t=2, speedup=1.9)])
+        report.failures.append(
+            SweepTaskFailure(
+                workload="wl",
+                schedule="static",
+                n_threads=4,
+                error="ConfigurationError",
+                message="boom",
+            )
+        )
+        return report
+
+    def test_to_table_has_footnote(self):
+        table = self._report_with_failures().to_table()
+        assert "1 grid point(s) failed" in table
+        assert "report.failures" in table
+
+    def test_to_markdown_has_footnote(self):
+        md = self._report_with_failures().to_markdown()
+        assert "1 grid point(s) failed" in md
+        assert "report.failures" in md
+
+    def test_renderers_agree_on_clean_report(self):
+        report = SpeedupReport([est(t=2)])
+        assert "failed" not in report.to_table()
+        assert "failed" not in report.to_markdown()

@@ -88,6 +88,122 @@ class TestTreeRoundtrip:
         assert restored.root.children[0].children[0].repeat == 7
 
 
+class TestNodeSlotParity:
+    """Guards against the Node analogue of the dropped-machine-field bug:
+    the per-node dict is derived from ``Node.__slots__``, so a slot added
+    later is serialised automatically instead of silently lost."""
+
+    def test_node_dict_covers_every_slot(self):
+        data = tree_to_dict(sample_profile().tree)
+        expected = (set(Node.__slots__) - {"children"}) | {"children", "kind"}
+        for raw in data["nodes"]:
+            assert set(raw) == expected
+
+    def test_counterset_fields_covered_by_section_dict(self):
+        from dataclasses import fields
+
+        from repro.simhw.counters import CounterSet
+
+        data = profile_to_dict(sample_profile())
+        section = next(iter(data["sections"].values()))
+        assert {f.name for f in fields(CounterSet)} <= set(section)
+
+
+class TestMalformedData:
+    """Structural defects in loaded profiles must surface as
+    ConfigurationError — never a bare KeyError/ValueError from deep inside
+    (profiles are the format users hand-edit and pass between machines)."""
+
+    def test_missing_node_field_raises_configuration_error(self):
+        data = tree_to_dict(sample_profile().tree)
+        del data["nodes"][0]["length"]
+        with pytest.raises(ConfigurationError, match="node 0"):
+            tree_from_dict(data)
+
+    def test_bad_kind_raises_configuration_error(self):
+        data = tree_to_dict(sample_profile().tree)
+        data["nodes"][0]["kind"] = "not-a-kind"
+        with pytest.raises(ConfigurationError):
+            tree_from_dict(data)
+
+    def test_negative_counter_raises_configuration_error(self):
+        data = tree_to_dict(sample_profile().tree)
+        leaf = next(n for n in data["nodes"] if not n["children"])
+        leaf["cpu_cycles"] = -1.0
+        with pytest.raises(ConfigurationError, match="cpu_cycles"):
+            tree_from_dict(data)
+
+    def test_missing_profile_key_raises_configuration_error(self):
+        data = profile_to_dict(sample_profile())
+        del data["machine"]
+        with pytest.raises(ConfigurationError, match="malformed profile"):
+            profile_from_dict(data)
+
+    def test_negative_section_counter_raises_configuration_error(self):
+        data = profile_to_dict(sample_profile())
+        next(iter(data["sections"].values()))["cycles"] = -5.0
+        with pytest.raises(ConfigurationError, match="cycles"):
+            profile_from_dict(data)
+
+    def test_negative_burden_raises_configuration_error(self):
+        profile = sample_profile()
+        profile.burdens["loop"] = {4: 1.2}
+        data = profile_to_dict(profile)
+        data["burdens"]["loop"]["4"] = -0.5
+        with pytest.raises(ConfigurationError, match="burden"):
+            profile_from_dict(data)
+
+    def test_wrong_type_section_raises_configuration_error(self):
+        data = profile_to_dict(sample_profile())
+        data["sections"] = ["not", "a", "mapping"]
+        with pytest.raises(ConfigurationError):
+            profile_from_dict(data)
+
+
+class TestDagSharingRoundtrip:
+    def test_compressed_profile_dag_roundtrip(self):
+        """Round-trip a dictionary-compressed tree and assert the DAG shape
+        — not just the counts: every shared subtree must come back as one
+        shared object, with measurements bit-identical."""
+        profile = sample_profile(compress=True)
+        tree = profile.tree
+        assert tree.unique_nodes() < tree.logical_nodes()  # sharing exists
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored.unique_nodes() == tree.unique_nodes()
+        assert restored.logical_nodes() == tree.logical_nodes()
+
+        def object_census(t):
+            seen = set()
+            stack = [t.root]
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                stack.extend(node.children)
+            return len(seen)
+
+        # Physical object count equals unique_nodes: sharing is by object
+        # identity, not equal copies.
+        assert object_census(restored) == restored.unique_nodes()
+
+        def measurements(t):
+            out = []
+
+            def visit(node):
+                out.append(
+                    (node.kind.value, node.length, node.cpu_cycles,
+                     node.instructions, node.llc_misses, node.repeat)
+                )
+                for c in node.children:
+                    visit(c)
+
+            visit(t.root)
+            return out
+
+        assert measurements(restored) == measurements(tree)
+
+
 class TestProfileRoundtrip:
     def test_full_roundtrip(self, tmp_path):
         profile = sample_profile()
