@@ -189,6 +189,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
         schedules=schedules,
         methods=tuple(args.methods.split(",")),
         memory_model=not args.no_memory_model,
+        backend=args.backend,
     )
     print(report.to_table())
 
@@ -266,11 +267,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             wl = get_workload(target)
             profiles[wl.name] = prophet.profile(wl.program)
 
-    predictor = BatchPredictor(prophet, jobs=args.jobs)
+    predictor = BatchPredictor(prophet, jobs=args.jobs, backend=args.backend)
     print(
         f"sweeping {len(profiles)} workload(s) × {len(schedules)} schedule(s) "
         f"× {len(threads)} thread count(s), methods={list(methods)}, "
-        f"jobs={predictor.jobs}"
+        f"jobs={predictor.jobs}, backend={predictor.backend}"
     )
     reports = predictor.sweep(
         profiles,
@@ -318,7 +319,10 @@ def cmd_check(args: argparse.Namespace) -> int:
     from repro.validate import DifferentialHarness, run_fuzz
 
     if args.quick:
-        workload_list = ["npb_ep"]
+        # EP's locked accumulation exercises the fallback paths; FT's
+        # lock-free memory loops give the columnar re-verification below
+        # real grid points to check.
+        workload_list = ["npb_ep", "npb_ft"]
         threads = [2, 4]
         schedules = ["static"]
         n_fuzz = 4
@@ -357,6 +361,27 @@ def cmd_check(args: argparse.Namespace) -> int:
             report.merge(run_fuzz(n_programs=n_fuzz, seed=args.seed))
         print(report.summary())
         rc = 1 if report.violations else 0
+        # Columnar backend: sampled re-verification against the *uncached*
+        # eager path (same pattern as the section-memo invariant) — the
+        # vectorized engine must agree within 1e-9 wherever it engages.
+        from repro.core.columnar import verify_points
+
+        col_checked = col_skipped = 0
+        for name, profile in profiles.items():
+            if memory_model and profile.sections:
+                prophet.attach_burdens(profile, threads)
+            checked, skipped, mismatches = verify_points(
+                prophet, profile, threads, schedules
+            )
+            col_checked += checked
+            col_skipped += skipped
+            for msg in mismatches:
+                print(f"columnar: {name}: {msg}", file=sys.stderr)
+                rc = 1
+        print(
+            f"columnar backend: {col_checked} grid point(s) re-verified "
+            f"against uncached eager replay, {col_skipped} fallback(s)"
+        )
     finally:
         check_rc = _selfcheck_end(checker, prev)
     return max(rc, check_rc)
@@ -470,6 +495,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-real", action="store_true", help="skip the ground-truth replay"
     )
     p_predict.add_argument(
+        "--backend", choices=("auto", "columnar", "eager"), default="auto",
+        help="evaluation backend: auto/columnar = vectorized engine with "
+        "per-point eager fallback; eager = scalar path everywhere",
+    )
+    p_predict.add_argument(
         "--metrics", action="store_true",
         help="print the process-wide metrics registry after predicting",
     )
@@ -518,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-memory-model", action="store_true", help="disable burden factors"
     )
     p_sweep.add_argument("-o", "--output", help="write a markdown report here")
+    p_sweep.add_argument(
+        "--backend", choices=("auto", "columnar", "eager"), default="auto",
+        help="evaluation backend: auto/columnar = vectorized engine with "
+        "per-point eager fallback; eager = scalar path everywhere",
+    )
     p_sweep.add_argument(
         "--metrics", action="store_true",
         help="print the merged (parent + workers) metrics after the sweep",

@@ -110,6 +110,7 @@ def _predict_point(
     task: SweepTask,
     ff: FastForwardEmulator,
     executors: Optional[dict[tuple[str, str], ParallelExecutor]] = None,
+    engine=None,
 ) -> list[SpeedupEstimate]:
     """Evaluate one grid point; runs identically in-process or in a worker.
 
@@ -119,6 +120,10 @@ def _predict_point(
     paradigm × schedule) reuses REAL-replay executors across grid points;
     section results themselves recur through the process-wide
     :class:`~repro.core.executor.SectionMemo` either way.
+
+    ``engine`` (chunk-scoped columnar engine, or None) is consulted first
+    for each method; a point the engine declines falls back to the exact
+    eager path below, preserving the per-point fallback contract.
     """
     schedule = Schedule.parse(task.schedule)
     serial = profile.serial_cycles()
@@ -133,9 +138,17 @@ def _predict_point(
                 if task.memory_model
                 else {}
             )
-            predicted, ff_sections = ff.emulate_profile(
-                profile.tree, task.n_threads, schedule, burdens
+            col = (
+                engine.ff_point(schedule, task.n_threads, burdens)
+                if engine is not None
+                else None
             )
+            if col is not None:
+                predicted, ff_sections = col
+            else:
+                predicted, ff_sections = ff.emulate_profile(
+                    profile.tree, task.n_threads, schedule, burdens
+                )
             estimates.append(
                 SpeedupEstimate(
                     method="ff",
@@ -148,14 +161,33 @@ def _predict_point(
                 )
             )
         elif method == "syn":
-            syn = Synthesizer(
-                paradigm=task.paradigm, schedule=schedule, overheads=overheads
+            est = (
+                engine.syn_point(
+                    schedule, task.n_threads, task.memory_model, task.paradigm
+                )
+                if engine is not None
+                else None
             )
-            run = syn.predict(
-                profile, task.n_threads, use_memory_model=task.memory_model
-            )
-            estimates.append(run.estimate)
+            if est is None:
+                syn = Synthesizer(
+                    paradigm=task.paradigm,
+                    schedule=schedule,
+                    overheads=overheads,
+                )
+                run = syn.predict(
+                    profile, task.n_threads, use_memory_model=task.memory_model
+                )
+                est = run.estimate
+            estimates.append(est)
         else:  # "real" — simulated ground-truth replay
+            est = (
+                engine.real_point(schedule, task.n_threads, task.paradigm)
+                if engine is not None
+                else None
+            )
+            if est is not None:
+                estimates.append(est)
+                continue
             key = (task.paradigm, schedule.label)
             executor = executors.get(key) if executors is not None else None
             if executor is None:
@@ -203,6 +235,7 @@ def _run_taskset(
     overheads: RuntimeOverheads,
     indexed_tasks: Sequence[tuple[int, SweepTask]],
     collect_metrics: bool = False,
+    backend: str = "auto",
 ) -> tuple[
     list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]],
     Optional[dict],
@@ -238,11 +271,23 @@ def _run_taskset(
             inv.reset()
     ff = FastForwardEmulator(overheads)
     executors: dict[tuple[str, str], ParallelExecutor] = {}
+    engine = None
+    if backend != "eager" and not get_tracer().enabled:
+        from repro.core.columnar import ColumnarEngine
+
+        # One engine per chunk: its lowering and per-point caches are
+        # shared by every grid point of this workload's chunk.
+        engine = ColumnarEngine(profile, overheads)
     results: list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]] = []
     for index, task in indexed_tasks:
         try:
             results.append(
-                (index, _predict_point(profile, overheads, task, ff, executors))
+                (
+                    index,
+                    _predict_point(
+                        profile, overheads, task, ff, executors, engine
+                    ),
+                )
             )
         except Exception as exc:
             metrics.inc("batch.task.errors")
@@ -269,13 +314,16 @@ class BatchPredictor:
         prophet=None,
         jobs: Optional[int] = None,
         chunks_per_job: int = 4,
+        backend: str = "auto",
     ) -> None:
         """``jobs=None`` uses every CPU; ``jobs=1`` runs in-process (no pool
         is created, which keeps single-job sweeps overhead-free and makes
         the serial run the natural determinism baseline).  ``chunks_per_job``
         controls work-stealing granularity: each worker receives roughly
         this many chunks so an expensive grid point cannot straggle the
-        whole sweep."""
+        whole sweep.  ``backend`` is ``"auto"``/``"columnar"`` (vectorized
+        engine with per-point eager fallback) or ``"eager"`` (scalar path
+        everywhere)."""
         if prophet is None:
             from repro.core.prophet import ParallelProphet
 
@@ -287,6 +335,12 @@ class BatchPredictor:
                 f"chunks_per_job must be >= 1, got {chunks_per_job}"
             )
         self.chunks_per_job = chunks_per_job
+        if backend not in ("auto", "columnar", "eager"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected 'auto', 'columnar' "
+                f"or 'eager'"
+            )
+        self.backend = backend
 
     # ------------------------------------------------------------------ API
 
@@ -390,19 +444,28 @@ class BatchPredictor:
         gathered: list[
             tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]
         ] = []
+        # One shared chunk construction: the in-process run is the pooled
+        # run with chunk size "whole workload" and no pool, so both paths
+        # exercise identical worker code (and the burden tables attached
+        # above — there is no per-point recalibration on either path).
+        if jobs <= 1:
+            chunk = max((len(v) for v in by_workload.values()), default=1)
+        else:
+            chunk = max(1, math.ceil(len(tasks) / (jobs * self.chunks_per_job)))
+        chunks = [
+            (name, items[pos : pos + chunk])
+            for name, items in by_workload.items()
+            for pos in range(0, len(items), chunk)
+        ]
         if jobs <= 1:
             # In-process: metric increments land on this registry directly,
             # so the worker must not reset/snapshot it.
-            for name, items in by_workload.items():
-                results, _ = _run_taskset(profiles[name], overheads, items)
+            for name, chunk_items in chunks:
+                results, _ = _run_taskset(
+                    profiles[name], overheads, chunk_items, False, self.backend
+                )
                 gathered.extend(results)
         else:
-            chunk = max(1, math.ceil(len(tasks) / (jobs * self.chunks_per_job)))
-            chunks = [
-                (name, items[pos : pos + chunk])
-                for name, items in by_workload.items()
-                for pos in range(0, len(items), chunk)
-            ]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = []
                 for name, chunk_items in chunks:
@@ -423,6 +486,7 @@ class BatchPredictor:
                             overheads,
                             chunk_items,
                             True,
+                            self.backend,
                         )
                     )
                 # Merge worker metric snapshots in *submission* order —
@@ -496,9 +560,10 @@ def sweep(
     jobs: Optional[int] = None,
     prophet=None,
     on_error: str = "raise",
+    backend: str = "auto",
 ) -> dict[str, SpeedupReport]:
     """Module-level convenience wrapper around :meth:`BatchPredictor.sweep`."""
-    return BatchPredictor(prophet, jobs=jobs).sweep(
+    return BatchPredictor(prophet, jobs=jobs, backend=backend).sweep(
         profiles,
         threads=threads,
         schedules=schedules,

@@ -273,6 +273,11 @@ class FastForwardEmulator:
         the run and across threads), making the cost O(stored nodes + t)
         instead of O(logical iterations) — the §VI-B compression win carried
         through to emulation time.
+
+        The columnar sweep backend (``repro.core.columnar``) evaluates this
+        same closed form vectorized over whole sweep columns, with this
+        scalar path as its parity oracle (<=1e-9 relative, property-tested);
+        any change to the formulas here must be mirrored there.
         """
         if schedule.is_dynamic_family:
             return None

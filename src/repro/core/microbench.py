@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import CalibrationError
+from repro.obs import get_metrics
 from repro.simhw.machine import MachineConfig
 from repro.simos import Compute, Join, SimKernel, Spawn
 
@@ -216,6 +217,10 @@ def calibrate_memory_model(
     the same guard to the Φ fit — below it the achieved-traffic/stall
     relation lives in the uncontended regime and would flatten the fit.
     """
+    # Counted so sweep tests can assert the Ψ/Φ microbenchmark ran exactly
+    # once per prophet (shared calibration on both the in-process and the
+    # pooled sweep path), not once per grid point.
+    get_metrics().inc("memmodel.calibrations")
     if not mpi_points:
         # Sweep miss intensity from light to streaming-bound.
         mpi_points = np.geomspace(5e-4, 0.12, 18)

@@ -114,6 +114,24 @@ class ParallelProphet:
 
     # --------------------------------------------------------------- prediction
 
+    def _make_engine(self, backend: str, profile: ProgramProfile):
+        """Resolve a ``backend`` selector into a columnar engine or None.
+
+        ``"auto"``/``"columnar"`` return an engine (consulted per grid
+        point, with per-point eager fallback); ``"eager"`` returns None.
+        Tracing forces the eager path — the analytic engine emits no
+        events."""
+        if backend not in ("auto", "columnar", "eager"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected 'auto', 'columnar' "
+                f"or 'eager'"
+            )
+        if backend == "eager" or self.obs.enabled:
+            return None
+        from repro.core.columnar import ColumnarEngine
+
+        return ColumnarEngine(profile, self.overheads)
+
     def predict(
         self,
         profile: ProgramProfile,
@@ -122,13 +140,21 @@ class ParallelProphet:
         schedules: Iterable[str | Schedule] = ("static",),
         methods: Sequence[str] = ("syn",),
         memory_model: bool = True,
+        backend: str = "auto",
     ) -> SpeedupReport:
         """Predict speedups for every (method, schedule, thread count).
 
         ``methods``: any of ``"ff"`` (fast-forward) and ``"syn"``
         (program synthesis).  With ``memory_model=True`` burden factors are
         calibrated and applied; otherwise every β is 1.
+
+        ``backend`` selects the evaluation strategy: ``"auto"`` (or its
+        alias ``"columnar"``) consults the vectorized columnar engine per
+        grid point and falls back to the eager emulators wherever the
+        engine declines (locks, nesting, dynamic schedules, ...);
+        ``"eager"`` forces the scalar per-point path everywhere.
         """
+        engine = self._make_engine(backend, profile)
         for m in methods:
             if m not in ("ff", "syn"):
                 raise ConfigurationError(f"unknown prediction method {m!r}")
@@ -167,9 +193,17 @@ class ParallelProphet:
             )
             for t in threads:
                 if ff is not None:
-                    predicted, ff_sections = ff.emulate_profile(
-                        profile.tree, t, schedule, burden_tables[t]
+                    col = (
+                        engine.ff_point(schedule, t, burden_tables[t])
+                        if engine is not None
+                        else None
                     )
+                    if col is not None:
+                        predicted, ff_sections = col
+                    else:
+                        predicted, ff_sections = ff.emulate_profile(
+                            profile.tree, t, schedule, burden_tables[t]
+                        )
                     report.add(
                         SpeedupEstimate(
                             method="ff",
@@ -182,8 +216,17 @@ class ParallelProphet:
                         )
                     )
                 if syn is not None:
-                    run = syn.predict(profile, t, use_memory_model=memory_model)
-                    report.add(run.estimate)
+                    est = (
+                        engine.syn_point(schedule, t, memory_model, paradigm)
+                        if engine is not None
+                        else None
+                    )
+                    if est is None:
+                        run = syn.predict(
+                            profile, t, use_memory_model=memory_model
+                        )
+                        est = run.estimate
+                    report.add(est)
         if self.inv.enabled:
             self._check_estimates(profile, report, "predict")
         return report

@@ -141,15 +141,40 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------- rendering
 
+    def hit_rates(self) -> dict[str, float]:
+        """Derived ``<prefix>.hit_rate`` ratios for every counter pair
+        ``<prefix>.hits`` / ``<prefix>.misses`` present in the registry.
+
+        Computed from the merged counters, so after a pooled sweep these
+        are the *aggregate* cache hit rates across all workers (DRAM-solve
+        LRU, section memo, ...), not just the parent process's view.
+        Display-only: :meth:`snapshot` stays raw counters."""
+        rates: dict[str, float] = {}
+        for name in self._counters:
+            if not name.endswith(".hits"):
+                continue
+            prefix = name[: -len(".hits")]
+            hits = self._counters[name]
+            misses = self._counters.get(prefix + ".misses")
+            if misses is None:
+                continue
+            total = hits + misses
+            if total > 0:
+                rates[prefix + ".hit_rate"] = hits / total
+        return rates
+
     def render(self) -> str:
         """Plain-text dump (the ``--metrics`` CLI output)."""
         lines: list[str] = []
         if self._counters:
             lines.append("counters:")
+            rates = self.hit_rates()
             for name in sorted(self._counters):
                 value = self._counters[name]
                 text = f"{value:.0f}" if value == int(value) else f"{value:.3f}"
                 lines.append(f"  {name:<32} {text:>14}")
+            for name in sorted(rates):
+                lines.append(f"  {name:<32} {rates[name]:>13.1%}")
         if self._gauges:
             lines.append("gauges:")
             for name in sorted(self._gauges):

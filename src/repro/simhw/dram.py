@@ -207,6 +207,95 @@ class DramModel:
                 break
         return 0.5 * (lo + hi)
 
+    def solve_batch(self, mem_fractions, demands, warm_hi=None):
+        """Vectorized :meth:`stall_multiplier` over independent lanes.
+
+        ``mem_fractions`` and ``demands`` are ``(n_lanes, n_segs)`` arrays
+        describing one running set per lane, padded with zero-demand
+        columns (which are exact no-ops, as in the scalar path).
+        ``warm_hi`` optionally carries each lane's warm-start bracket; the
+        updated brackets are returned so callers can thread them through
+        successive rounds exactly like ``_solve`` threads ``_warm_hi``.
+
+        Returns ``(k, warm_hi_out)`` float64 arrays.  Every lane follows
+        the scalar solve bit for bit — same queue-factor expression, same
+        test-then-double bracket growth with the ``_K_MAX`` cap, same
+        200-step bisection with the post-update tolerance check — via
+        elementwise IEEE-754 ops and per-lane masks, so batching never
+        changes a result.  The columnar sweep engine uses this to answer
+        many concurrent replay walks with one convergence loop.
+
+        This entry point is stateless with respect to the pool: it does
+        not read or write ``_cache``/``_warm_hi`` (each caller owns its
+        own memo, mirroring the one-pool-per-kernel structure).
+        """
+        import numpy as np
+
+        F = np.asarray(mem_fractions, dtype=np.float64)
+        D = np.asarray(demands, dtype=np.float64)
+        n, width = D.shape
+        wh_in = (
+            np.zeros(n)
+            if warm_hi is None
+            else np.asarray(warm_hi, dtype=np.float64)
+        )
+
+        # Sequential per-segment accumulation: matches the scalar sum()
+        # (adding 0.0 for padded columns is an exact identity).
+        total = np.zeros(n)
+        for j in range(width):
+            total = total + D[:, j]
+
+        def achieved(k):
+            acc = np.zeros(n)
+            for j in range(width):
+                d = D[:, j]
+                f = F[:, j]
+                acc = acc + np.where(d > 0.0, d / (1.0 - f + f * k), 0.0)
+            return acc
+
+        u = np.maximum(0.0, total) / self._peak
+        uc = np.minimum(u, 1.0)
+        # queue_factor: at u <= 0 the second term is exactly 0.0.
+        k_queue = 1.0 + self._kappa * uc * uc / (1.0 + uc)
+        k = k_queue.copy()
+        sat = achieved(k_queue) > self._peak
+        wh_out = wh_in.copy()
+        n_sat = int(sat.sum())
+        if n_sat == 0:
+            return k, wh_out
+        get_metrics().inc("dram.solve.bisections", float(n_sat))
+
+        lo = k_queue.copy()
+        hi = np.maximum(2.0 * k_queue, 2.0)
+        hi = np.where(wh_in > hi, wh_in, hi)
+        capped = np.zeros(n, dtype=bool)
+        active = sat.copy()
+        while True:
+            need = active & (achieved(hi) > self._peak)
+            if not need.any():
+                break
+            hi = np.where(need, hi * 2.0, hi)
+            newly = need & (hi > _K_MAX)
+            if newly.any():
+                k = np.where(newly, _K_MAX, k)
+                capped |= newly
+                active = active & ~newly
+        wh_out = np.where(sat & ~capped, hi, wh_out)
+
+        solving = sat & ~capped
+        done = ~solving
+        for _ in range(200):
+            if done.all():
+                break
+            mid = 0.5 * (lo + hi)
+            over = achieved(mid) > self._peak
+            lo = np.where(~done & over, mid, lo)
+            hi = np.where(~done & ~over, mid, hi)
+            done = done | (hi - lo <= _SOLVE_TOL * hi)
+        k = np.where(solving, 0.5 * (lo + hi), k)
+        return k, wh_out
+
     @property
     def peak_bytes_per_sec(self) -> float:
         """The pool's configured peak bandwidth cap (bytes/s)."""
