@@ -1,0 +1,135 @@
+"""Interleaving exploration: envelope coverage, spread, and memo reuse.
+
+Not a paper artifact: this bench tracks the schedule-space explorer
+(``repro.explore``) that closes the lock-interleaving blind spot.  Over a
+deterministic lock-heavy fuzz corpus it
+
+- explores every grid point into a [min, max] SYN speedup envelope over
+  the handoff-policy variants,
+- measures REAL at the same points and reports the coverage fraction
+  (the acceptance bar is 1.0 — REAL never escapes its envelope),
+- reports the envelope spread (how much uncertainty the single FIFO
+  prediction used to hide on these programs), and
+- times a cold vs a warm exploration pass: replays recur through the
+  section memo keyed by (policy, seed), so re-exploring the same grid
+  should be much cheaper than the first pass.
+
+``run_all.py`` records the result under ``benchmarks/out/`` and as the
+``explore`` entry of ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.executor import clear_section_memo
+from repro.core.profiler import IntervalProfiler
+from repro.core.prophet import ParallelProphet
+from repro.explore import Explorer
+from repro.runtime.overhead import RuntimeOverheads
+from repro.simhw import MachineConfig
+from repro.validate import ENVELOPE_SLACK, build_program, generate_locky_program
+
+#: Fuzz corpus machine: modest core count so contention is real.
+MACHINE = MachineConfig(n_cores=4)
+
+#: Grid per program.  static,1 round-robins tasks across workers — the
+#: schedule where the documented 25% FAKE-vs-REAL lock divergence was found.
+THREADS = [2, 4]
+SCHEDULE = "static,1"
+
+#: Handoff variants per grid point.
+SAMPLES = 6
+
+
+def _convoy(tr):
+    """A deliberately interleaving-sensitive program: every task funnels
+    through one lock with strongly asymmetric critical sections, so which
+    waiter the mutex hands off to genuinely moves the makespan."""
+    with tr.section("convoy"):
+        for i in range(8):
+            with tr.task():
+                tr.compute(8_000.0 + 3_000.0 * i)
+                with tr.lock(1):
+                    tr.compute(30_000.0 + 20_000.0 * (i % 4))
+                tr.compute(6_000.0)
+
+
+def _corpus(n_programs: int, seed: int = 2026):
+    rng = random.Random(seed)
+    profiler = IntervalProfiler(MACHINE)
+    profiles = {"convoy": profiler.profile(_convoy)}
+    for i in range(n_programs):
+        profiles[f"locky-{seed}-{i}"] = profiler.profile(
+            build_program(generate_locky_program(rng))
+        )
+    return profiles
+
+
+def run_explore(quick: bool = False) -> dict:
+    """Explore a lock-heavy corpus; report coverage, spread, and timings."""
+    n_programs = 4 if quick else 10
+    overheads = RuntimeOverheads().scaled(0.0)
+    prophet = ParallelProphet(machine=MACHINE, overheads=overheads)
+    profiles = _corpus(n_programs)
+    explorer = Explorer(prophet, samples=SAMPLES, jobs=1)
+
+    def explore_all():
+        return explorer.explore(
+            profiles,
+            threads=THREADS,
+            schedules=[SCHEDULE],
+            memory_model=False,
+        )
+
+    clear_section_memo()
+    t0 = time.perf_counter()
+    reports = explore_all()
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    explore_all()
+    warm_s = time.perf_counter() - t0
+
+    points = covered = degenerate = 0
+    widths = []
+    for name, profile in profiles.items():
+        real = prophet.measure_real(profile, THREADS, schedule=SCHEDULE)
+        for t in THREADS:
+            env = reports[name].envelope(n_threads=t)
+            points += 1
+            widths.append(env.width)
+            if env.width == 0.0:
+                degenerate += 1
+            if env.contains(real.speedup(n_threads=t), slack=ENVELOPE_SLACK):
+                covered += 1
+
+    return {
+        "programs": n_programs,
+        "points": points,
+        "samples_per_point": SAMPLES,
+        "coverage": covered / points,
+        "degenerate_points": degenerate,
+        "mean_width": sum(widths) / len(widths),
+        "max_width": max(widths),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "memo_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
+# ------------------------------------------------------- pytest-benchmark
+
+
+def test_explore_envelopes(benchmark):
+    r = benchmark.pedantic(run_explore, kwargs=dict(quick=True), rounds=1)
+    # The acceptance bar: REAL lies inside every reported envelope.
+    assert r["coverage"] == 1.0
+    # Warm re-exploration must benefit from the (policy, seed)-keyed memo.
+    assert r["warm_s"] < r["cold_s"]
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_explore(), indent=2))

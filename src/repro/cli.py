@@ -15,7 +15,9 @@ Commands
 ``sweep``
     Batch-predict a full (workload × schedule × threads) grid, optionally
     fanned out over worker processes (``--jobs``); deterministic regardless
-    of the worker count.
+    of the worker count.  ``--explore N`` additionally samples N lock-handoff
+    interleavings per grid point of each lock-bearing workload and prints
+    [min, max] speedup envelopes (docs/exploration.md).
 ``trace``
     Replay a workload with the structured tracer enabled and export the
     simulated timeline as Chrome-trace/Perfetto JSON (one track per
@@ -39,6 +41,7 @@ Examples::
     python -m repro profile ompscr_lu -o lu.json
     python -m repro predict lu.json --schedules static,1 --no-real
     python -m repro sweep npb_ft,npb_cg --jobs 4 --methods ff,syn,real
+    python -m repro sweep npb_ep --explore 6 --threads 2,4
     python -m repro trace npb_ft --threads 4 --out ft-trace.json
     python -m repro check --quick
 """
@@ -281,6 +284,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         memory_model=not args.no_memory_model,
         on_error="collect",
     )
+    if args.explore > 0:
+        from repro.explore import Explorer
+        from repro.validate.differential import _has_locks
+
+        locky = {n: p for n, p in profiles.items() if _has_locks(p.tree)}
+        skipped = sorted(set(profiles) - set(locky))
+        if skipped:
+            print(
+                f"explore: skipping lock-free workload(s) {', '.join(skipped)} "
+                "(single interleaving, envelope is a point)"
+            )
+        if locky:
+            explored = Explorer(
+                prophet,
+                samples=args.explore,
+                jobs=args.jobs,
+                backend=args.backend,
+            ).explore(
+                locky,
+                threads=threads,
+                schedules=schedules,
+                memory_model=not args.no_memory_model,
+                on_error="collect",
+            )
+            for name, exp in explored.items():
+                reports[name].envelopes.extend(exp.envelopes)
+                reports[name].failures.extend(exp.failures)
     sections = []
     for name, report in reports.items():
         print(f"\n== {name} ==")
@@ -382,6 +412,25 @@ def cmd_check(args: argparse.Namespace) -> int:
             f"columnar backend: {col_checked} grid point(s) re-verified "
             f"against uncached eager replay, {col_skipped} fallback(s)"
         )
+        if args.quick:
+            # Sample one explored point and re-verify its envelope extremes
+            # by uncached eager replay (same contract as the columnar
+            # check): EP is lock-bearing, so its envelope is live.
+            from repro.explore import verify_envelope
+
+            env_checked, env_mismatches = verify_envelope(
+                prophet,
+                profiles["npb_ep"],
+                n_threads=2,
+                memory_model=memory_model,
+            )
+            print(
+                f"explore: {env_checked} envelope extreme(s) of npb_ep/t=2 "
+                f"re-verified by uncached eager replay, "
+                f"{env_mismatches} mismatch(es)"
+            )
+            if env_mismatches:
+                rc = 1
     finally:
         check_rc = _selfcheck_end(checker, prev)
     return max(rc, check_rc)
@@ -546,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--no-memory-model", action="store_true", help="disable burden factors"
+    )
+    p_sweep.add_argument(
+        "--explore", type=int, default=0, metavar="N",
+        help="explore N lock-handoff interleavings per grid point of each "
+        "lock-bearing workload and print [min, max] speedup envelopes "
+        "(0 disables; see docs/exploration.md)",
     )
     p_sweep.add_argument("-o", "--output", help="write a markdown report here")
     p_sweep.add_argument(

@@ -49,6 +49,7 @@ from repro.errors import BatchError, ConfigurationError
 from repro.obs import get_metrics, get_tracer
 from repro.runtime.overhead import RuntimeOverheads
 from repro.runtime.tasks import Schedule
+from repro.simos import normalize_handoff
 from repro.validate.invariants import get_checker, has_nested_sections
 
 #: Prediction methods a sweep task may request.
@@ -91,6 +92,11 @@ class SweepTask:
     methods: tuple[str, ...] = ("syn",)
     paradigm: str = "omp"
     memory_model: bool = True
+    #: Lock-handoff policy the replay kernels use at contended releases.
+    #: Non-default policies turn this grid point into one schedule-space
+    #: sample of ``repro.explore``'s speedup envelope.
+    handoff: str = "fifo"
+    handoff_seed: int = 0
 
     def __post_init__(self) -> None:
         for m in self.methods:
@@ -102,6 +108,17 @@ class SweepTask:
             raise ConfigurationError(
                 f"n_threads must be >= 1, got {self.n_threads}"
             )
+        # Canonicalise ("seeded-random" → "random", seed pinned to 0 for
+        # policies that ignore it) so task equality and executor cache keys
+        # reflect replay behaviour, not spelling.
+        object.__setattr__(self, "handoff", normalize_handoff(self.handoff))
+        if self.handoff != "random":
+            object.__setattr__(self, "handoff_seed", 0)
+        if self.handoff != "fifo" and "ff" in self.methods:
+            raise ConfigurationError(
+                "the fast-forward emulator is interleaving-blind; "
+                f"handoff={self.handoff!r} supports only 'syn' and 'real'"
+            )
 
 
 def _predict_point(
@@ -109,7 +126,7 @@ def _predict_point(
     overheads: RuntimeOverheads,
     task: SweepTask,
     ff: FastForwardEmulator,
-    executors: Optional[dict[tuple[str, str], ParallelExecutor]] = None,
+    executors: Optional[dict[tuple, ParallelExecutor]] = None,
     engine=None,
 ) -> list[SpeedupEstimate]:
     """Evaluate one grid point; runs identically in-process or in a worker.
@@ -117,7 +134,8 @@ def _predict_point(
     Uses ``profile.machine`` (the machine the profile was taken on) for the
     synthesizer and ground-truth replays, mirroring how the facade's
     prediction paths behave.  ``executors`` (chunk-scoped, keyed by
-    paradigm × schedule) reuses REAL-replay executors across grid points;
+    paradigm × schedule × handoff) reuses REAL-replay executors across
+    grid points;
     section results themselves recur through the process-wide
     :class:`~repro.core.executor.SectionMemo` either way.
 
@@ -125,6 +143,10 @@ def _predict_point(
     for each method; a point the engine declines falls back to the exact
     eager path below, preserving the per-point fallback contract.
     """
+    if task.handoff != "fifo":
+        # The columnar engine models the FIFO handoff analytically; an
+        # explored interleaving must replay eagerly to be sound.
+        engine = None
     schedule = Schedule.parse(task.schedule)
     serial = profile.serial_cycles()
     estimates: list[SpeedupEstimate] = []
@@ -173,6 +195,8 @@ def _predict_point(
                     paradigm=task.paradigm,
                     schedule=schedule,
                     overheads=overheads,
+                    handoff=task.handoff,
+                    handoff_seed=task.handoff_seed,
                 )
                 run = syn.predict(
                     profile, task.n_threads, use_memory_model=task.memory_model
@@ -188,7 +212,7 @@ def _predict_point(
             if est is not None:
                 estimates.append(est)
                 continue
-            key = (task.paradigm, schedule.label)
+            key = (task.paradigm, schedule.label, task.handoff, task.handoff_seed)
             executor = executors.get(key) if executors is not None else None
             if executor is None:
                 executor = ParallelExecutor(
@@ -196,6 +220,8 @@ def _predict_point(
                     paradigm=task.paradigm,
                     schedule=schedule,
                     overheads=overheads,
+                    handoff=task.handoff,
+                    handoff_seed=task.handoff_seed,
                 )
                 if executors is not None:
                     executors[key] = executor
@@ -270,7 +296,7 @@ def _run_taskset(
             inv.mode = "raise"
             inv.reset()
     ff = FastForwardEmulator(overheads)
-    executors: dict[tuple[str, str], ParallelExecutor] = {}
+    executors: dict[tuple, ParallelExecutor] = {}
     engine = None
     if backend != "eager" and not get_tracer().enabled:
         from repro.core.columnar import ColumnarEngine

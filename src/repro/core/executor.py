@@ -41,6 +41,7 @@ from repro.simos import (
     Release,
     SimKernel,
     SimMutex,
+    normalize_handoff,
 )
 from repro.validate.invariants import get_checker
 
@@ -166,6 +167,11 @@ class SectionRun:
     traversal_overhead: float
     preemptions: int
     steals: int
+    #: Per-run lock stats from this section's (fresh) kernel: total and
+    #: contended acquisitions.  Deterministic given the replay inputs, so
+    #: the memo-parity invariant covers them too.
+    lock_acquires: int = 0
+    lock_contended: int = 0
 
     @property
     def net_cycles(self) -> float:
@@ -187,6 +193,16 @@ class ReplayResult:
         if self.total_cycles <= 0:
             return 1.0
         return self.serial_cycles / self.total_cycles
+
+    @property
+    def lock_acquires(self) -> int:
+        """Total lock acquisitions across all replayed sections."""
+        return sum(run.lock_acquires for run in self.sections)
+
+    @property
+    def lock_contended(self) -> int:
+        """Total contended lock acquisitions across all replayed sections."""
+        return sum(run.lock_contended for run in self.sections)
 
 
 class ParallelExecutor:
@@ -221,6 +237,12 @@ class ParallelExecutor:
     memoize:
         Consult the process-wide :class:`SectionMemo` before replaying a
         section (bypassed automatically while tracing is enabled).
+    handoff, handoff_seed:
+        Lock handoff policy forwarded to every kernel (``fifo`` — the
+        byte-identical default — ``lifo``, ``random``/``seeded-random``,
+        ``adversarial``; see :mod:`repro.simos.sync`).  ``handoff_seed``
+        seeds the ``random`` policy's draw stream; the pair is part of the
+        section-memo key, so explored replays never cross-contaminate.
     """
 
     def __init__(
@@ -233,6 +255,8 @@ class ParallelExecutor:
         coalesce: bool = True,
         kernel_optimize: bool = True,
         memoize: bool = True,
+        handoff: str = "fifo",
+        handoff_seed: int = 0,
     ) -> None:
         if paradigm not in ("omp", "cilk", "omp_task"):
             raise EmulationError(f"unknown paradigm {paradigm!r}")
@@ -243,6 +267,10 @@ class ParallelExecutor:
         self.coalesce = coalesce
         self.kernel_optimize = kernel_optimize
         self.memoize = memoize
+        self.handoff = normalize_handoff(handoff)
+        # Only the random policy consumes the seed; normalising it to 0 for
+        # the others keeps their memo keys shared across callers.
+        self.handoff_seed = handoff_seed if self.handoff == "random" else 0
         #: Sections replayed through the coalesced / exact OpenMP lowering
         #: (fallback diagnostics for tests and benchmarks).
         self.coalesced_sections = 0
@@ -258,7 +286,11 @@ class ParallelExecutor:
 
     def _make_kernel(self) -> SimKernel:
         return SimKernel(
-            self.machine, tracer=self.obs, optimize=self.kernel_optimize
+            self.machine,
+            tracer=self.obs,
+            optimize=self.kernel_optimize,
+            handoff=self.handoff,
+            handoff_seed=self.handoff_seed,
         )
 
     def _bridge_kernel_metrics(self, kernel: SimKernel) -> None:
@@ -422,6 +454,8 @@ class ParallelExecutor:
             traversal_overhead=ohmgr.longest() if mode is ReplayMode.FAKE else 0.0,
             preemptions=kernel.preemptions,
             steals=0,
+            lock_acquires=kernel.lock_acquires,
+            lock_contended=kernel.lock_contended,
         )
 
     def execute_section(
@@ -453,6 +487,10 @@ class ParallelExecutor:
                 float(f"{burden:.12g}"),
                 self.coalesce,
                 self.kernel_optimize,
+                # Policy + seed keep explored replays sound: a lifo or
+                # seeded-random run must never answer for the fifo point.
+                self.handoff,
+                self.handoff_seed,
                 _node_fingerprint(sec),
             )
             run = _SECTION_MEMO.get(memo_key)
@@ -513,6 +551,8 @@ class ParallelExecutor:
                 traversal_overhead=0.0,
                 preemptions=kernel.preemptions,
                 steals=0,
+                lock_acquires=kernel.lock_acquires,
+                lock_contended=kernel.lock_contended,
             )
 
         if self.paradigm == "omp":
@@ -594,6 +634,8 @@ class ParallelExecutor:
             traversal_overhead=ohmgr.longest() if mode is ReplayMode.FAKE else 0.0,
             preemptions=kernel.preemptions,
             steals=steals,
+            lock_acquires=kernel.lock_acquires,
+            lock_contended=kernel.lock_contended,
         )
 
     # ----------------------------------------------------- coalesced lowering

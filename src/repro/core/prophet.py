@@ -231,6 +231,38 @@ class ParallelProphet:
             self._check_estimates(profile, report, "predict")
         return report
 
+    def explore(
+        self,
+        profile: ProgramProfile,
+        threads: Sequence[int],
+        paradigm: str = "omp",
+        schedules: Iterable[str] = ("static",),
+        method: str = "syn",
+        memory_model: bool = True,
+        samples: int = 6,
+        seed: int = 0,
+        jobs: Optional[int] = 1,
+    ) -> SpeedupReport:
+        """Explore the lock-interleaving space of every grid point.
+
+        Convenience wrapper over :class:`repro.explore.Explorer`: returns a
+        report whose estimates are the default FIFO predictions
+        (byte-identical to :meth:`predict` with the same grid) and whose
+        ``envelopes`` carry one min/median/max
+        :class:`~repro.core.report.SpeedupEnvelope` per grid point, sampled
+        over ``samples`` handoff-policy variants.
+        """
+        from repro.explore import Explorer
+
+        return Explorer(self, samples=samples, seed=seed, jobs=jobs).explore(
+            {"workload": profile},
+            threads=threads,
+            schedules=schedules,
+            paradigm=paradigm,
+            method=method,
+            memory_model=memory_model,
+        )["workload"]
+
     # --------------------------------------------------------------- ground truth
 
     def measure_real(

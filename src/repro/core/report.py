@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -25,6 +26,84 @@ class SpeedupEstimate:
                 self.with_memory_model)
 
 
+@dataclass(frozen=True)
+class SpeedupEnvelope:
+    """A min/median/max speedup band over explored lock interleavings.
+
+    Produced by :class:`repro.explore.Explorer`: one grid point evaluated
+    under several lock-handoff variants (fifo, lifo, seeded-random draws,
+    adversarial) collapses into this band.  ``samples`` keeps every
+    (variant label, speedup) pair in grid order, so the extremes can be
+    re-verified by replaying exactly the variant that produced them.
+    """
+
+    method: str  # "syn" | "real"
+    paradigm: str
+    schedule: str
+    n_threads: int
+    lo: float
+    median: float
+    hi: float
+    samples: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def from_samples(
+        cls,
+        method: str,
+        paradigm: str,
+        schedule: str,
+        n_threads: int,
+        samples: Iterable[tuple[str, float]],
+    ) -> "SpeedupEnvelope":
+        """Build an envelope from (variant label, speedup) pairs."""
+        samples = tuple(samples)
+        if not samples:
+            raise ValueError("an envelope needs at least one sample")
+        values = [s for _, s in samples]
+        return cls(
+            method=method,
+            paradigm=paradigm,
+            schedule=schedule,
+            n_threads=n_threads,
+            lo=min(values),
+            median=statistics.median(values),
+            hi=max(values),
+            samples=samples,
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def width(self) -> float:
+        """Relative band width (hi − lo) / median — the uncertainty the
+        single FIFO point estimate used to hide."""
+        return (self.hi - self.lo) / self.median if self.median > 0 else 0.0
+
+    @property
+    def lo_variant(self) -> str:
+        """Label of the variant that achieved :attr:`lo` (first on ties)."""
+        return min(self.samples, key=lambda s: (s[1], self.samples.index(s)))[0]
+
+    @property
+    def hi_variant(self) -> str:
+        """Label of the variant that achieved :attr:`hi` (first on ties)."""
+        return max(self.samples, key=lambda s: (s[1], -self.samples.index(s)))[0]
+
+    def contains(self, speedup: float, slack: float = 0.0) -> bool:
+        """True if ``speedup`` lies within [lo, hi], widened by a relative
+        ``slack`` on both ends (what interleavings cannot explain)."""
+        return self.lo * (1.0 - slack) <= speedup <= self.hi * (1.0 + slack)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method} {self.paradigm} {self.schedule} "
+            f"t={self.n_threads}: [{self.lo:.2f}, {self.hi:.2f}] "
+            f"median {self.median:.2f} ({self.n_samples} interleavings)"
+        )
+
+
 class SpeedupReport:
     """A collection of estimates with lookup and rendering helpers."""
 
@@ -33,6 +112,9 @@ class SpeedupReport:
         #: Structured per-grid-point failures attached by batch sweeps run
         #: with ``on_error="collect"`` (:class:`repro.core.batch.SweepTaskFailure`).
         self.failures: list = []
+        #: Schedule-space envelopes attached by :class:`repro.explore.Explorer`
+        #: (one per explored grid point; empty for plain predictions).
+        self.envelopes: list[SpeedupEnvelope] = []
 
     def add(self, estimate: SpeedupEstimate) -> None:
         """Append one estimate."""
@@ -77,9 +159,41 @@ class SpeedupReport:
         """Shortcut: the speedup of the single matching estimate."""
         return self.one(**kwargs).speedup
 
+    def add_envelope(self, envelope: SpeedupEnvelope) -> None:
+        """Append one schedule-space envelope."""
+        self.envelopes.append(envelope)
+
+    def envelope(
+        self,
+        method: Optional[str] = None,
+        schedule: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        paradigm: Optional[str] = None,
+    ) -> SpeedupEnvelope:
+        """The single envelope matching the filters; KeyError otherwise."""
+        out = self.envelopes
+        if method is not None:
+            out = [e for e in out if e.method == method]
+        if schedule is not None:
+            out = [e for e in out if e.schedule == schedule]
+        if n_threads is not None:
+            out = [e for e in out if e.n_threads == n_threads]
+        if paradigm is not None:
+            out = [e for e in out if e.paradigm == paradigm]
+        if len(out) != 1:
+            raise KeyError(
+                f"expected exactly one envelope for "
+                f"{dict(method=method, schedule=schedule, n_threads=n_threads, paradigm=paradigm)}, "
+                f"got {len(out)}"
+            )
+        return out[0]
+
     def thread_counts(self) -> list[int]:
-        """Distinct thread counts present, sorted."""
-        return sorted({e.n_threads for e in self.estimates})
+        """Distinct thread counts present (estimates or envelopes), sorted."""
+        return sorted(
+            {e.n_threads for e in self.estimates}
+            | {e.n_threads for e in self.envelopes}
+        )
 
     def to_table(self) -> str:
         """Render as a fixed-width table, one row per (method, schedule,
@@ -100,6 +214,8 @@ class SpeedupReport:
                 f"{by_t[t]:>7.2f}" if t in by_t else f"{'-':>7}" for t in threads
             )
             lines.append(f"{label:<10} {paradigm:<8} {schedule:<10} {cells}")
+        for env in self.envelopes:
+            lines.append(f"envelope   {env}")
         if self.failures:
             lines.append(
                 f"({len(self.failures)} grid point(s) failed; "
@@ -127,6 +243,18 @@ class SpeedupReport:
         for (label, paradigm, schedule), by_t in sorted(rows.items()):
             cells = " | ".join(
                 f"{by_t[t]:.2f}" if t in by_t else "-" for t in threads
+            )
+            lines.append(f"| {label} | {paradigm} | {schedule} | {cells} |")
+        bands: dict[tuple, dict[int, SpeedupEnvelope]] = {}
+        for env in self.envelopes:
+            label = env.method + "∈"
+            bands.setdefault((label, env.paradigm, env.schedule), {})[
+                env.n_threads
+            ] = env
+        for (label, paradigm, schedule), by_t in sorted(bands.items()):
+            cells = " | ".join(
+                f"[{by_t[t].lo:.2f}, {by_t[t].hi:.2f}]" if t in by_t else "-"
+                for t in threads
             )
             lines.append(f"| {label} | {paradigm} | {schedule} | {cells} |")
         if self.failures:

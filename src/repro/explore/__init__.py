@@ -1,0 +1,27 @@
+"""Schedule-space exploration: lock-interleaving envelopes.
+
+The DES kernel's default FIFO lock handoff commits every replay to exactly
+one interleaving, which is why lock-heavy programs showed ~25% SYN-vs-REAL
+divergence: REAL's interleaving is just one point in a space the single
+FAKE replay never samples.  This package explores that space — it re-runs
+each grid point under several handoff policies (fifo, lifo, seeded-random
+draws, adversarial longest-remaining-work-first) and collapses the results
+into a min/median/max :class:`~repro.core.report.SpeedupEnvelope` instead
+of a single number.
+
+See :doc:`docs/exploration` for the full story.
+"""
+
+from repro.explore.explorer import (
+    Explorer,
+    ScheduleVariant,
+    default_variants,
+    verify_envelope,
+)
+
+__all__ = [
+    "Explorer",
+    "ScheduleVariant",
+    "default_variants",
+    "verify_envelope",
+]

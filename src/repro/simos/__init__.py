@@ -2,7 +2,9 @@
 
 A deterministic discrete-event kernel that time-shares simulated threads over
 the cores of a :class:`repro.simhw.machine.MachineConfig` machine, with
-preemptive round-robin scheduling, FIFO mutexes, barriers, events, and
+preemptive round-robin scheduling, direct-handoff mutexes (FIFO by default,
+with pluggable handoff policies for ``repro.explore``'s schedule-space
+exploration), barriers, events, and
 fluid-rate compute segments whose speed responds to DRAM contention
 (:mod:`repro.simhw.dram`).
 
@@ -29,7 +31,13 @@ from repro.simos.thread import (
     EventSet,
     EventClear,
 )
-from repro.simos.sync import SimMutex, SimBarrier, SimEvent
+from repro.simos.sync import (
+    HANDOFF_POLICIES,
+    SimMutex,
+    SimBarrier,
+    SimEvent,
+    normalize_handoff,
+)
 from repro.simos.scheduler import CpuScheduler
 from repro.simos.kernel import SimKernel
 
@@ -48,9 +56,11 @@ __all__ = [
     "EventWait",
     "EventSet",
     "EventClear",
+    "HANDOFF_POLICIES",
     "SimMutex",
     "SimBarrier",
     "SimEvent",
     "CpuScheduler",
     "SimKernel",
+    "normalize_handoff",
 ]

@@ -25,6 +25,7 @@ visible and configurable rather than buried in the kernel.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Generator, Optional
 
 from repro.errors import DeadlockError, SimulationError
@@ -34,7 +35,7 @@ from repro.simhw.counters import CounterSet, PerfCounters
 from repro.simhw.dram import DramModel, SegmentDemand
 from repro.simhw.machine import MachineConfig
 from repro.simos.scheduler import CpuScheduler
-from repro.simos.sync import SimBarrier, SimEvent, SimMutex
+from repro.simos.sync import SimBarrier, SimEvent, SimMutex, normalize_handoff
 from repro.validate.invariants import get_checker
 from repro.simos.thread import (
     Acquire,
@@ -71,9 +72,26 @@ class SimKernel:
         record_trace: bool = False,
         tracer=None,
         optimize: bool = True,
+        handoff: str = "fifo",
+        handoff_seed: int = 0,
     ) -> None:
         self.config = config
         self.clock = VirtualClock()
+        #: Lock handoff policy (``repro.simos.sync.HANDOFF_POLICIES``).
+        #: ``fifo`` reproduces the seed kernel's schedule bit for bit; the
+        #: others explore the interleaving space for ``repro.explore``.
+        self.handoff = normalize_handoff(handoff)
+        self.handoff_seed = handoff_seed
+        self._handoff_fifo = self.handoff == "fifo"
+        #: Seeded stream for the ``random`` policy.  Draws happen in
+        #: simulation order, which is itself deterministic, so a (policy,
+        #: seed) pair fully determines the schedule — across processes too.
+        self._handoff_rng = (
+            random.Random(handoff_seed) if self.handoff == "random" else None
+        )
+        #: The ``adversarial`` policy ranks waiters by executed cycles; the
+        #: per-thread accumulation is paid only when that policy is active.
+        self._track_progress = self.handoff == "adversarial"
         #: Event-sparse fast paths (lazy quantum arming + incremental
         #: reconfigure).  ``optimize=False`` restores the eager seed
         #: behaviour event for event; both modes are parity-tested.
@@ -154,6 +172,11 @@ class SimKernel:
         #: Lock acquisitions that blocked (bridged to the metrics registry
         #: once per replayed section, never from this hot path).
         self.lock_contended = 0
+        #: Total lock acquisitions, contended or not.  Both counters are
+        #: per-kernel (one kernel per section replay), so exploration
+        #: replays report per-run contention stats with nothing carried
+        #: over between seeds.
+        self.lock_acquires = 0
         #: Quantum expiry events pushed (both modes; lazy mode arms only
         #: when a core actually has a waiter).
         self.quantum_arms = 0
@@ -351,6 +374,8 @@ class SimKernel:
             paid = min(seg.switch_debt, base_progress)
             seg.switch_debt -= paid
             work = base_progress - paid
+        if self._track_progress:
+            seg.thread.work_done += work
         frac = work / seg.total if seg.total > 0 else 1.0
         if self.inv.enabled and seg.inv_frac >= 0.0:
             seg.inv_frac += frac
@@ -876,6 +901,7 @@ class SimKernel:
     def _acquire(self, thread: SimThread, mutex: SimMutex) -> bool:
         """Returns True if acquired immediately, False if the thread blocked."""
         mutex.acquires += 1
+        self.lock_acquires += 1
         if mutex.owner is None:
             mutex.owner = thread
             return True
@@ -901,9 +927,14 @@ class SimKernel:
                 f"{thread!r} releasing {mutex!r} owned by {mutex.owner!r}"
             )
         if mutex.waiters:
-            # Direct handoff: the head waiter owns the lock while it waits
-            # for a core, modelling lock-convoy behaviour.
-            next_owner = mutex.waiters.popleft()
+            # Direct handoff: the selected waiter owns the lock while it
+            # waits for a core, modelling lock-convoy behaviour.  The
+            # handoff policy decides *which* waiter; fifo keeps the seed
+            # kernel's popleft() verbatim on its own branch.
+            if self._handoff_fifo:
+                next_owner = mutex.waiters.popleft()
+            else:
+                next_owner = mutex.pop_waiter(self.handoff, self._handoff_rng)
             mutex.owner = next_owner
             next_owner.pending_value = None  # type: ignore[attr-defined]
             self.scheduler.make_ready(next_owner, front=True)

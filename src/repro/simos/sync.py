@@ -4,10 +4,14 @@ These are passive data holders; all state transitions happen inside the
 kernel so that wakeups are ordered deterministically with the event queue.
 Semantics:
 
-- :class:`SimMutex` — FIFO wait queue with *direct handoff*: on release the
-  head waiter becomes the owner immediately, so lock convoys and contention
-  delays are modelled faithfully (the paper emulates lock acquisition "by a
-  real mutex" in the synthesizer; this is the simulated equivalent).
+- :class:`SimMutex` — wait queue with *direct handoff*: on release a waiter
+  becomes the owner immediately, so lock convoys and contention delays are
+  modelled faithfully (the paper emulates lock acquisition "by a real
+  mutex" in the synthesizer; this is the simulated equivalent).  *Which*
+  waiter is chosen is the kernel's **handoff policy** — ``fifo`` (the
+  default, and the only order the seed kernel knew) picks the head of the
+  queue; the other policies in :data:`HANDOFF_POLICIES` explore the
+  interleaving space for ``repro.explore``'s speedup envelopes.
 - :class:`SimBarrier` — classic counting barrier releasing all parties at
   once; used for OpenMP's implicit region barriers.
 - :class:`SimEvent` — level-triggered event with wake-one/wake-all, used by
@@ -24,9 +28,28 @@ from repro.errors import ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simos.thread import SimThread
 
+#: Lock handoff policies a kernel can run (see :meth:`SimMutex.pop_waiter`).
+#: ``fifo`` is byte-identical to the seed kernel's single behaviour; the
+#: rest exist to explore the schedule space (``repro.explore``).
+HANDOFF_POLICIES = ("fifo", "lifo", "random", "adversarial")
+
+#: Accepted aliases (the CLI/docs spell the seeded policy out).
+_HANDOFF_ALIASES = {"seeded-random": "random"}
+
+
+def normalize_handoff(policy: str) -> str:
+    """Canonical handoff-policy name, or :class:`ConfigurationError`."""
+    policy = _HANDOFF_ALIASES.get(policy, policy)
+    if policy not in HANDOFF_POLICIES:
+        raise ConfigurationError(
+            f"unknown handoff policy {policy!r} "
+            f"(expected one of {HANDOFF_POLICIES})"
+        )
+    return policy
+
 
 class SimMutex:
-    """A FIFO mutex."""
+    """A direct-handoff mutex with a pluggable wait-queue discipline."""
 
     _next_id = 0
 
@@ -44,6 +67,51 @@ class SimMutex:
     def locked(self) -> bool:
         return self.owner is not None
 
+    def reset_counters(self) -> None:
+        """Zero the per-run contention counters.
+
+        Replays build fresh mutexes per section, so counters are per-run by
+        construction; any harness that *does* reuse a mutex across seeded
+        exploration replays must reset between them or the stats leak
+        (the FF-counter bug class fixed in PR 2)."""
+        self.contended_acquires = 0
+        self.acquires = 0
+
+    def pop_waiter(self, policy: str = "fifo", rng=None) -> "SimThread":
+        """Remove and return the waiter the handoff ``policy`` selects.
+
+        - ``fifo`` — head of the queue (arrival order; the seed behaviour).
+        - ``lifo`` — most recent arrival, starving the head of the convoy.
+        - ``random`` — a uniform draw from ``rng`` (the kernel's seeded
+          stream, so replays stay bit-reproducible).
+        - ``adversarial`` — longest-remaining-work-first: the waiter that
+          has made the *least* progress so far (the kernel's per-thread
+          executed-cycles proxy; static partitions hand workers comparable
+          totals, so least-progressed ≈ longest-remaining).  Ties break in
+          arrival order, keeping the choice deterministic.
+
+        The caller must guarantee the queue is non-empty.
+        """
+        waiters = self.waiters
+        if policy == "fifo":
+            return waiters.popleft()
+        if policy == "lifo":
+            return waiters.pop()
+        if policy == "random":
+            index = rng.randrange(len(waiters))
+        elif policy == "adversarial":
+            index = min(
+                range(len(waiters)), key=lambda i: (waiters[i].work_done, i)
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown handoff policy {policy!r} "
+                f"(expected one of {HANDOFF_POLICIES})"
+            )
+        chosen = waiters[index]
+        del waiters[index]
+        return chosen
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         o = self.owner.tid if self.owner else None
         return f"SimMutex({self.name!r}, owner={o}, waiting={len(self.waiters)})"
@@ -60,6 +128,10 @@ class SimBarrier:
         self.arrived: list["SimThread"] = []
         #: Completed barrier episodes (for tests).
         self.generations: int = 0
+
+    def reset_counters(self) -> None:
+        """Zero the per-run episode counter (see :meth:`SimMutex.reset_counters`)."""
+        self.generations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimBarrier({self.name!r}, {len(self.arrived)}/{self.parties})"

@@ -57,6 +57,7 @@ class SimThread:
         "pending_value",
         "switch_debt",
         "seg_cache",
+        "work_done",
     )
 
     def __init__(
@@ -89,6 +90,10 @@ class SimThread:
         #: Retired :class:`ComputeSegment` reused by the next attach (the
         #: kernel's epoch staleness checks make identity reuse safe).
         self.seg_cache: Optional["ComputeSegment"] = None
+        #: Base compute cycles executed so far — the progress proxy behind
+        #: the ``adversarial`` lock-handoff policy.  Accumulated only while
+        #: that policy is active (kernels default to leaving it at 0).
+        self.work_done: float = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimThread({self.tid}, {self.name!r}, {self.state.value})"

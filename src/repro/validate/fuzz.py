@@ -99,12 +99,45 @@ def generate_program(rng: random.Random, max_depth: int = 2) -> list:
     return items
 
 
+def description_has_locks(items) -> bool:
+    """True if any leaf of a program description takes a lock."""
+
+    def section_has(desc) -> bool:
+        _, tasks = desc
+        for ops, nested in tasks:
+            if any(lock is not None for _, _, _, lock in ops):
+                return True
+            if any(section_has(sub) for sub in nested):
+                return True
+        return False
+
+    return any(
+        section_has(item) for item in items if not isinstance(item, float)
+    )
+
+
+def generate_locky_program(rng: random.Random, max_depth: int = 2) -> list:
+    """Like :func:`generate_program`, but guaranteed lock-bearing.
+
+    Redraws (deterministically, from the same ``rng`` stream) until the
+    description contains at least one locked leaf — the corpus the
+    envelope acceptance test runs on must exercise contention, and ~19%
+    of unconstrained draws are lock-free.
+    """
+    while True:
+        items = generate_program(rng, max_depth=max_depth)
+        if description_has_locks(items):
+            return items
+
+
 def run_fuzz(
     n_programs: int = 10,
     seed: int = 0,
     machine=None,
     threads: Sequence[int] = (2, 4),
     policy: Optional[TolerancePolicy] = None,
+    explore_samples: int = 6,
+    locky_only: bool = False,
 ) -> DifferentialReport:
     """Differential-validate ``n_programs`` seeded random programs.
 
@@ -113,6 +146,11 @@ def run_fuzz(
     would only blur the comparison) and runs the FF/SYN/REAL differential
     harness with ``memory_model=False`` — the programs are memory-free by
     construction.  Returns the merged :class:`DifferentialReport`.
+
+    Lock-bearing programs are judged against explored interleaving
+    envelopes (``explore_samples`` handoff variants; 0 restores the flat
+    tolerance).  ``locky_only=True`` draws exclusively lock-bearing
+    programs — the envelope acceptance corpus.
     """
     from repro.core.profiler import IntervalProfiler
     from repro.core.prophet import ParallelProphet
@@ -127,7 +165,11 @@ def run_fuzz(
     profiler = IntervalProfiler(machine)
     profiles = {}
     for i in range(n_programs):
-        items = generate_program(rng)
+        items = (
+            generate_locky_program(rng) if locky_only else generate_program(rng)
+        )
         profiles[f"fuzz-{seed}-{i}"] = profiler.profile(build_program(items))
-    harness = DifferentialHarness(prophet, policy=policy)
+    harness = DifferentialHarness(
+        prophet, policy=policy, explore_samples=explore_samples
+    )
     return harness.run(profiles, threads=list(threads), memory_model=False)

@@ -39,6 +39,11 @@ from typing import Optional
 
 from repro.errors import InvariantViolation
 from repro.obs import get_metrics
+from repro.validate.policy import (
+    FF_BOUND_TOLERANCE,
+    REAL_TOLERANCE,
+    SYN_TOLERANCE,
+)
 
 #: Relative tolerance for float-accumulation effects (attribution fractions,
 #: work-conservation sums).  Individual interval errors are ~1e-12 relative;
@@ -58,8 +63,13 @@ _K_SATURATED = 1e11
 #: RLE compressor averaged within tolerance.  FAKE (SYN) additionally
 #: subtracts the longest per-worker traversal overhead (Fig. 8 line 26),
 #: which over-subtracts on trees of tiny nodes — the synthesizer's
-#: documented approximation (see tests/test_fuzz_pipeline.py).
-SPEEDUP_EPS = {"ff": 1e-9, "real": 0.10, "syn": 0.25}
+#: documented approximation (see tests/test_fuzz_pipeline.py).  The values
+#: are shared with the differential harness via ``repro.validate.policy``.
+SPEEDUP_EPS = {
+    "ff": FF_BOUND_TOLERANCE,
+    "real": REAL_TOLERANCE,
+    "syn": SYN_TOLERANCE,
+}
 
 
 @dataclass
@@ -286,7 +296,14 @@ class InvariantChecker:
         """A memoised :class:`~repro.core.executor.SectionRun` must equal an
         uncached replay *bitwise* — the determinism claim the memo rests on."""
         self.checks_run += 1
-        for field in ("gross_cycles", "traversal_overhead", "preemptions", "steals"):
+        for field in (
+            "gross_cycles",
+            "traversal_overhead",
+            "preemptions",
+            "steals",
+            "lock_acquires",
+            "lock_contended",
+        ):
             got = getattr(cached, field)
             want = getattr(fresh, field)
             if got != want:
