@@ -9,7 +9,7 @@ memory-blind predictions of the two comparison tools.
 
 from __future__ import annotations
 
-from _common import MACHINE, THREADS, banner, fmt_row, prophet
+from _common import THREADS, banner, fmt_row, prophet
 from repro.baselines import KismetEstimator, SuitabilityAnalysis
 from repro.core.report import error_ratio
 from repro.workloads import get_workload

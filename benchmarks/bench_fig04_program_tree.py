@@ -9,7 +9,7 @@ claim: profiling is annotation-proportional, not instruction-proportional).
 
 from __future__ import annotations
 
-from _common import MACHINE, banner, prophet
+from _common import banner, prophet
 from repro.core.tree import NodeKind
 
 

@@ -17,7 +17,7 @@ paper's grades.
 from __future__ import annotations
 
 
-from _common import MACHINE, banner, prophet
+from _common import banner, prophet
 from repro.baselines import (
     CilkviewAnalyzer,
     KismetEstimator,

@@ -15,7 +15,6 @@ Run:  python examples/pipeline_parallelism.py
 """
 
 from repro import ParallelProphet, WESTMERE_12
-from repro.runtime import RuntimeOverheads
 
 FRAMES = 48
 STAGES = {  # cycles per frame

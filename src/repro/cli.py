@@ -28,6 +28,11 @@ Commands
     checks enabled, differential-compare FF/SYN against the simulated
     ground truth under the tolerance policy, and fuzz randomly generated
     programs.  Non-zero exit on any violation (see docs/validation.md).
+``serve``
+    Run the prediction daemon: predict/sweep/explore/check over HTTP+JSON
+    with a bounded work queue, per-request budgets, and process-lifetime
+    caches, so repeat traffic hits warm calibrations/profiles/replay memos
+    instead of paying a cold start per invocation (see docs/serving.md).
 
 ``predict`` and ``sweep`` accept ``--metrics`` to print the process-wide
 metrics registry (FF fast-path decisions, DRAM solves, preemptions, ...)
@@ -436,6 +441,50 @@ def cmd_check(args: argparse.Namespace) -> int:
     return max(rc, check_rc)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the prediction daemon until interrupted.
+
+    A long-lived process serving predict/sweep/explore/check over
+    HTTP+JSON with process-lifetime caches (calibrations, profiles,
+    section memo, columnar lowerings, whole responses) — repeat traffic
+    hits warm state instead of recalibrating per invocation.  See
+    docs/serving.md for the endpoint reference.
+    """
+    from repro.serve import RequestBudgets, ServeConfig, create_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        budgets=RequestBudgets(
+            max_grid_points=args.max_grid_points,
+            timeout_s=args.timeout,
+        ),
+        jobs=args.jobs,
+        backend=args.backend,
+        section_memo=args.section_memo,
+        log_requests=args.log_requests,
+    )
+    server = create_server(config)
+    # flush=True: supervisors and scripts watching a piped stdout need the
+    # bound (possibly ephemeral) port before the blocking serve loop.
+    print(
+        f"repro serve listening on {server.address} "
+        f"(workers={config.workers}, queue depth={config.queue_depth}, "
+        f"jobs={config.jobs}, backend={config.backend})",
+        flush=True,
+    )
+    print(
+        "endpoints: GET /health /workloads /stats | "
+        "POST /predict /sweep /explore /check /cache/clear /shutdown",
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro serve: drained and stopped")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: replay a workload with tracing on; export Perfetto JSON."""
     from repro.core.executor import ParallelExecutor, ReplayMode
@@ -653,6 +702,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the prediction daemon (HTTP+JSON, process-lifetime caches)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 picks an ephemeral port; default 8765)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="compute worker threads draining the request queue (default 1)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="pending-request bound; beyond it requests get 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-grid-points", type=int, default=4096,
+        help="per-request grid-size budget; beyond it 413 (default 4096)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request wall-clock ceiling in seconds (default 60)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="sweep worker processes per cached predictor (default 1 — "
+        "in-process, which is what keeps the replay caches warm)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=("auto", "columnar", "eager"), default="auto",
+        help="evaluation backend baked into every cached predictor",
+    )
+    p_serve.add_argument(
+        "--section-memo", type=int, default=None, metavar="N",
+        help="rebound the process-wide section-replay memo to N entries",
+    )
+    p_serve.add_argument(
+        "--log-requests", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_trace = sub.add_parser(
         "trace",

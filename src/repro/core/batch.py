@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence, Union
@@ -133,10 +134,11 @@ def _predict_point(
 
     Uses ``profile.machine`` (the machine the profile was taken on) for the
     synthesizer and ground-truth replays, mirroring how the facade's
-    prediction paths behave.  ``executors`` (chunk-scoped, keyed by
-    paradigm × schedule × handoff) reuses REAL-replay executors across
-    grid points;
-    section results themselves recur through the process-wide
+    prediction paths behave.  ``executors`` (keyed by machine × paradigm ×
+    schedule × handoff) reuses REAL-replay executors across grid points —
+    chunk-scoped in pool workers, predictor-lifetime on the in-process
+    path (:attr:`BatchPredictor._executors`); section results themselves
+    recur through the process-wide
     :class:`~repro.core.executor.SectionMemo` either way.
 
     ``engine`` (chunk-scoped columnar engine, or None) is consulted first
@@ -148,6 +150,13 @@ def _predict_point(
         # explored interleaving must replay eagerly to be sound.
         engine = None
     schedule = Schedule.parse(task.schedule)
+    executor_key = (
+        profile.machine,
+        task.paradigm,
+        schedule.label,
+        task.handoff,
+        task.handoff_seed,
+    )
     serial = profile.serial_cycles()
     estimates: list[SpeedupEstimate] = []
     for method in task.methods:
@@ -212,8 +221,9 @@ def _predict_point(
             if est is not None:
                 estimates.append(est)
                 continue
-            key = (task.paradigm, schedule.label, task.handoff, task.handoff_seed)
-            executor = executors.get(key) if executors is not None else None
+            executor = (
+                executors.get(executor_key) if executors is not None else None
+            )
             if executor is None:
                 executor = ParallelExecutor(
                     machine=profile.machine,
@@ -224,7 +234,7 @@ def _predict_point(
                     handoff_seed=task.handoff_seed,
                 )
                 if executors is not None:
-                    executors[key] = executor
+                    executors[executor_key] = executor
             result = executor.execute_profile(
                 profile.tree, task.n_threads, ReplayMode.REAL
             )
@@ -262,6 +272,8 @@ def _run_taskset(
     indexed_tasks: Sequence[tuple[int, SweepTask]],
     collect_metrics: bool = False,
     backend: str = "auto",
+    executors: Optional[dict[tuple, ParallelExecutor]] = None,
+    engines: Optional["OrderedDict"] = None,
 ) -> tuple[
     list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]],
     Optional[dict],
@@ -271,6 +283,12 @@ def _run_taskset(
     One FF emulator instance is shared across the chunk (it is stateless
     between ``emulate_profile`` calls), so repeated grid points amortise
     its setup the same way the facade's hoisted loop does.
+
+    ``executors``/``engines`` (both optional) are the caller's persistent
+    caches: the in-process path passes :class:`BatchPredictor`'s own so
+    replay executors and columnar lowerings survive across sweeps (the
+    serve daemon's warm state); pool workers pass neither and fall back to
+    chunk-scoped instances.
 
     A failing task yields a :class:`SweepTaskFailure` in its grid slot
     instead of poisoning the whole chunk: the remaining tasks still run,
@@ -296,14 +314,33 @@ def _run_taskset(
             inv.mode = "raise"
             inv.reset()
     ff = FastForwardEmulator(overheads)
-    executors: dict[tuple, ParallelExecutor] = {}
+    if executors is None:
+        executors = {}
     engine = None
     if backend != "eager" and not get_tracer().enabled:
         from repro.core.columnar import ColumnarEngine
 
-        # One engine per chunk: its lowering and per-point caches are
-        # shared by every grid point of this workload's chunk.
-        engine = ColumnarEngine(profile, overheads)
+        if engines is None:
+            # One engine per chunk: its lowering and per-point caches are
+            # shared by every grid point of this workload's chunk.
+            engine = ColumnarEngine(profile, overheads)
+        else:
+            # Persistent path: one engine per live profile object, reused
+            # across sweeps so the lowering and per-point caches survive.
+            # The profile rides along in the value to pin the id() key.
+            # Hit/miss counters live on the cache object, not the metrics
+            # registry: pool chunking would make registry counts diverge
+            # between jobs=1 and jobs>1 sweeps of the same grid.
+            key = id(profile)
+            cached = engines.get(key)
+            if cached is not None and cached[0] is profile:
+                engine = cached[1]
+                engines.move_to_end(key)
+                engines.hits = getattr(engines, "hits", 0) + 1
+            else:
+                engine = ColumnarEngine(profile, overheads)
+                engines[key] = (profile, engine)
+                engines.misses = getattr(engines, "misses", 0) + 1
     results: list[tuple[int, Union[list[SpeedupEstimate], SweepTaskFailure]]] = []
     for index, task in indexed_tasks:
         try:
@@ -367,6 +404,17 @@ class BatchPredictor:
                 f"or 'eager'"
             )
         self.backend = backend
+        #: Bounds of the predictor-lifetime caches below (entries, LRU).
+        self.executor_cache_size = 64
+        self.engine_cache_size = 32
+        #: REAL-replay executors, keyed by machine × paradigm × schedule ×
+        #: handoff; live across sweeps on the in-process path so a daemon's
+        #: repeat traffic replays into warm kernels.  Manage through
+        #: :meth:`cache_info` / :meth:`reset`, not directly.
+        self._executors: OrderedDict[tuple, ParallelExecutor] = OrderedDict()
+        #: Columnar engines keyed by live profile object (the profile is
+        #: pinned in the value so the ``id()`` key stays unambiguous).
+        self._engines: OrderedDict[int, tuple] = OrderedDict()
 
     # ------------------------------------------------------------------ API
 
@@ -485,12 +533,21 @@ class BatchPredictor:
         ]
         if jobs <= 1:
             # In-process: metric increments land on this registry directly,
-            # so the worker must not reset/snapshot it.
+            # so the worker must not reset/snapshot it.  The predictor's
+            # persistent executor/engine caches keep replay state warm
+            # across run() calls (and are trimmed to their bounds after).
             for name, chunk_items in chunks:
                 results, _ = _run_taskset(
-                    profiles[name], overheads, chunk_items, False, self.backend
+                    profiles[name],
+                    overheads,
+                    chunk_items,
+                    False,
+                    self.backend,
+                    executors=self._executors,
+                    engines=self._engines,
                 )
                 gathered.extend(results)
+            self._trim_caches()
         else:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = []
@@ -549,6 +606,56 @@ class BatchPredictor:
         if failures and on_error == "raise":
             raise BatchError(failures)
         return [(tasks[index], outcome) for index, outcome in gathered]
+
+    # ----------------------------------------------------- cache lifetime
+
+    def cache_info(self) -> dict:
+        """Sizes and hit counters of every cache this predictor feeds.
+
+        The explicit surface the serve cache layer and tests use instead
+        of reaching into ``_executors``/``_engines``: predictor-lifetime
+        executor and columnar-engine caches, plus the process-wide section
+        memo the replays recur through.
+        """
+        from repro.core.executor import section_memo_info
+
+        engines = [engine for _profile, engine in self._engines.values()]
+        return {
+            "executors": {
+                "size": len(self._executors),
+                "maxsize": self.executor_cache_size,
+            },
+            "engines": {
+                "size": len(engines),
+                "maxsize": self.engine_cache_size,
+                "hits": getattr(self._engines, "hits", 0),
+                "misses": getattr(self._engines, "misses", 0),
+                "point_entries": sum(
+                    e.cache_info()["points"] for e in engines
+                ),
+            },
+            "section_memo": section_memo_info(),
+        }
+
+    def reset(self) -> None:
+        """Drop the predictor-lifetime caches (executors, engines).
+
+        The process-wide section memo is shared with other predictors and
+        the facade, so it is *not* cleared here — use
+        :func:`repro.core.executor.clear_section_memo` (or the serve cache
+        layer's ``clear()``, which does both) for a fully cold state.
+        """
+        self._executors.clear()
+        self._engines.clear()
+        self._engines.hits = 0
+        self._engines.misses = 0
+
+    def _trim_caches(self) -> None:
+        """Evict least-recently-used executors/engines over their bounds."""
+        while len(self._executors) > self.executor_cache_size:
+            self._executors.popitem(last=False)
+        while len(self._engines) > self.engine_cache_size:
+            self._engines.popitem(last=False)
 
     # ------------------------------------------------------------- internals
 

@@ -173,6 +173,14 @@ class ColumnarEngine:
         self._own_cache: dict[tuple, tuple] = {}
         self._point_cache: dict[tuple, float] = {}
 
+    def cache_info(self) -> dict[str, int]:
+        """Sizes of this engine's per-point caches (serve-layer stats)."""
+        return {
+            "lowered": int(self._lowered),
+            "ownership": len(self._own_cache),
+            "points": len(self._point_cache),
+        }
+
     # ------------------------------------------------------------- lowering
 
     def _lowering(self) -> Optional[list]:

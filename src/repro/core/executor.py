@@ -145,6 +145,18 @@ def clear_section_memo() -> None:
     _SECTION_MEMO.clear()
 
 
+def set_section_memo_size(maxsize: int) -> None:
+    """Rebound the process-wide section memo (serve cache-layer governance).
+
+    Shrinking evicts least-recently-used entries immediately so the memo
+    honours the new bound without waiting for the next insert."""
+    if maxsize < 0:
+        raise ValueError(f"section memo maxsize must be >= 0, got {maxsize}")
+    _SECTION_MEMO.maxsize = maxsize
+    while len(_SECTION_MEMO._data) > maxsize:
+        _SECTION_MEMO._data.popitem(last=False)
+
+
 class _OverheadManager:
     """Per-worker traversal overhead, as in the paper's Fig. 8 pseudo-code."""
 

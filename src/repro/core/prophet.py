@@ -79,6 +79,16 @@ class ParallelProphet:
 
         return section_memo_info()
 
+    def calibration_info(self) -> dict:
+        """State of the Ψ/Φ calibration cache (the serve layer's costliest
+        warmup): whether it exists and which thread counts it covers."""
+        if self._calibration is None:
+            return {"calibrated": False, "thread_counts": []}
+        return {
+            "calibrated": True,
+            "thread_counts": sorted(self._calibration.psi),
+        }
+
     # --------------------------------------------------------------- memory model
 
     def calibration(

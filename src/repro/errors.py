@@ -57,6 +57,22 @@ class InvariantViolation(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A request to the prediction daemon (:mod:`repro.serve`) was refused.
+
+    Carries an HTTP-ish ``status`` and a stable machine-readable ``code``
+    so the server can render a structured JSON error and in-process callers
+    (tests, the work queue) can branch on the same taxonomy.  Subclasses —
+    queue saturation, grid budget, deadline — live in
+    :mod:`repro.serve.budgets` next to the limits they enforce.
+    """
+
+    #: HTTP status the server maps this error to.
+    status: int = 400
+    #: Stable machine-readable error code for the JSON body.
+    code: str = "bad_request"
+
+
 class BatchError(ReproError):
     """One or more grid points of a batch sweep failed.
 

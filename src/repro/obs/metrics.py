@@ -102,6 +102,18 @@ class MetricsRegistry:
     def counter_value(self, name: str) -> float:
         return self._counters.get(name, 0.0)
 
+    def counters(self, prefix: Optional[str] = None) -> dict[str, float]:
+        """A sorted copy of the counters, optionally filtered by prefix.
+
+        The serve daemon's ``GET /stats`` uses this to report exactly the
+        registry's ``serve.*`` family, so the endpoint and ``--metrics``
+        can never disagree about a counter's value."""
+        return {
+            name: self._counters[name]
+            for name in sorted(self._counters)
+            if prefix is None or name.startswith(prefix)
+        }
+
     def gauge_value(self, name: str) -> Optional[float]:
         return self._gauges.get(name)
 

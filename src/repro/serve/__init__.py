@@ -1,0 +1,53 @@
+"""Prediction-as-a-service: a long-lived daemon over the prophet pipeline.
+
+One-shot CLI invocations pay full calibration and start with cold caches on
+every prediction.  This package turns the pipeline into a multi-tenant
+process: an HTTP+JSON server (stdlib only) whose requests flow through a
+bounded work queue into shared :class:`~repro.core.batch.BatchPredictor`
+instances, with every cache the pipeline grows — Ψ/Φ calibrations, interval
+profiles, section-replay memo, DRAM-solve LRU, columnar lowerings, whole
+responses — promoted to explicit, process-lifetime, eviction-governed
+state in :class:`~repro.serve.cachelayer.CacheLayer`.
+
+Layout
+------
+- :mod:`repro.serve.budgets` — admission limits and the structured-error
+  taxonomy (queue full → 429, grid budget → 413, deadline → 504).
+- :mod:`repro.serve.cachelayer` — named, size-bounded, metrics-instrumented
+  LRU cache classes plus adapters over the pipeline's existing caches.
+- :mod:`repro.serve.workqueue` — bounded queue + worker threads with
+  admission control and drain-on-shutdown.
+- :mod:`repro.serve.handlers` — transport-free request handlers
+  (predict/sweep/explore/check/stats/cache-clear) over a shared state.
+- :mod:`repro.serve.server` — the ThreadingHTTPServer wiring and the
+  ``repro serve`` entry point.
+
+See ``docs/serving.md`` for the endpoint reference.
+"""
+
+from repro.serve.budgets import (
+    BudgetExceeded,
+    Deadline,
+    DeadlineExceeded,
+    QueueFull,
+    RequestBudgets,
+)
+from repro.serve.cachelayer import CacheLayer, LRUCache
+from repro.serve.handlers import ServeState
+from repro.serve.server import ReproServer, ServeConfig, create_server
+from repro.serve.workqueue import WorkQueue
+
+__all__ = [
+    "BudgetExceeded",
+    "CacheLayer",
+    "Deadline",
+    "DeadlineExceeded",
+    "LRUCache",
+    "QueueFull",
+    "ReproServer",
+    "RequestBudgets",
+    "ServeConfig",
+    "ServeState",
+    "WorkQueue",
+    "create_server",
+]

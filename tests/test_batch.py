@@ -318,3 +318,91 @@ class TestMetricsMerge:
         )
         assert fresh_metrics.counter_value("batch.task.errors") == 1.0
         assert fresh_metrics.counter_value("batch.tasks") == 4.0
+
+
+class TestPersistentCaches:
+    """The daemon-facing cache surface: reset(), cache_info(), and warm
+    executor/engine reuse across run() calls on one predictor instance."""
+
+    def test_cache_info_shape(self, prophet):
+        info = BatchPredictor(prophet, jobs=1).cache_info()
+        assert set(info) == {"executors", "engines", "section_memo"}
+        assert info["executors"] == {"size": 0, "maxsize": 64}
+        assert info["engines"]["size"] == 0
+        assert "hits" in info["section_memo"]
+
+    def test_run_populates_persistent_caches(self, prophet, profiles):
+        # Eager backend: the columnar engine would answer these REAL
+        # points analytically and never build a replay executor.
+        predictor = BatchPredictor(prophet, jobs=1, backend="eager")
+        predictor.sweep(
+            profiles, threads=[2, 4], methods=("real",), memory_model=False
+        )
+        info = predictor.cache_info()
+        assert info["executors"]["size"] > 0
+
+    def test_engine_cache_hits_on_repeat(self, prophet, profiles):
+        predictor = BatchPredictor(prophet, jobs=1, backend="columnar")
+        kwargs = dict(threads=[2, 4], methods=("syn",), memory_model=False)
+        predictor.sweep(profiles, **kwargs)
+        cold = predictor.cache_info()["engines"]
+        assert cold["misses"] == len(profiles) and cold["hits"] == 0
+        predictor.sweep(profiles, **kwargs)
+        warm = predictor.cache_info()["engines"]
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] == len(profiles)
+
+    def test_repeat_run_results_identical(self, prophet, profiles):
+        predictor = BatchPredictor(prophet, jobs=1)
+        kwargs = dict(
+            threads=[2, 4], methods=("syn", "real"), memory_model=False
+        )
+        cold = predictor.sweep(profiles, **kwargs)
+        warm = predictor.sweep(profiles, **kwargs)
+        for name in profiles:
+            cold_rows = [
+                (e.method, e.schedule, e.n_threads, e.speedup)
+                for e in cold[name].estimates
+            ]
+            warm_rows = [
+                (e.method, e.schedule, e.n_threads, e.speedup)
+                for e in warm[name].estimates
+            ]
+            assert cold_rows == warm_rows
+
+    def test_reset_empties_caches(self, prophet, profiles):
+        predictor = BatchPredictor(prophet, jobs=1)
+        predictor.sweep(
+            profiles, threads=[2], methods=("real",), memory_model=False
+        )
+        predictor.reset()
+        info = predictor.cache_info()
+        assert info["executors"]["size"] == 0
+        assert info["engines"]["size"] == 0
+
+    def test_caches_trimmed_to_bound(self, prophet, profiles):
+        predictor = BatchPredictor(prophet, jobs=1)
+        predictor.executor_cache_size = 2
+        predictor.sweep(
+            profiles,
+            threads=[2, 4],
+            schedules=["static", "static,1", "dynamic,1"],
+            methods=("real",),
+            memory_model=False,
+        )
+        assert predictor.cache_info()["executors"]["size"] <= 2
+
+    def test_pool_path_unaffected_by_instance_caches(self, prophet, profiles):
+        kwargs = dict(threads=[2, 4], methods=("syn",), memory_model=False)
+        warm = BatchPredictor(prophet, jobs=1)
+        warm.sweep(profiles, **kwargs)
+        warm_again = warm.sweep(profiles, **kwargs)
+        pool = BatchPredictor(prophet, jobs=2).sweep(profiles, **kwargs)
+        for name in profiles:
+            assert [
+                (e.method, e.schedule, e.n_threads, e.speedup)
+                for e in pool[name].estimates
+            ] == [
+                (e.method, e.schedule, e.n_threads, e.speedup)
+                for e in warm_again[name].estimates
+            ]

@@ -372,3 +372,40 @@ class TestParadigmChoices:
         )
         out = capsys.readouterr().out
         assert "omp_task" in out
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.workers == 1
+        assert args.queue_depth == 16
+        assert args.max_grid_points == 4096
+        assert args.backend == "auto"
+        assert args.jobs == 1
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--queue-depth",
+                "4",
+                "--timeout",
+                "5",
+                "--backend",
+                "eager",
+                "--section-memo",
+                "128",
+            ]
+        )
+        assert args.port == 0
+        assert args.queue_depth == 4
+        assert args.timeout == 5.0
+        assert args.backend == "eager"
+        assert args.section_memo == 128
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "magic"])

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro import ParallelProphet
 from repro.core.batch import BatchPredictor
-from repro.core.columnar import ColumnarEngine, verify_points
+from repro.core.columnar import verify_points
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry, set_metrics
 from repro.simhw import MachineConfig

@@ -216,8 +216,6 @@ class TestLossyCompression:
         assert abs(tree.serial_cycles() - total_before) / total_before < 0.20
 
     def test_lossy_per_leaf_bound(self):
-        import math
-
         from repro.core.compress import _quantize_leaves
 
         tree = self._is_like_tree(n=50)

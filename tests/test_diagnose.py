@@ -1,10 +1,9 @@
 """Tests for the bottleneck diagnoser (Table III's 'diagnose bottleneck')."""
 
-import pytest
 
 from repro.core.diagnose import BottleneckDiagnoser
 from repro.core.profiler import IntervalProfiler
-from repro.runtime import RuntimeOverheads, Schedule
+from repro.runtime import Schedule
 from repro.simhw import MachineConfig
 from repro.simhw.memtrace import AccessPattern, MemSpec
 

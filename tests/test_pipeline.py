@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.executor import ParallelExecutor, ReplayMode
-from repro.core.ffemu import FastForwardEmulator
 from repro.core.pipeline import (
     expand_pipeline_tasks,
     ff_pipeline_cycles,

@@ -5,7 +5,6 @@ bounds."""
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
