@@ -1,0 +1,147 @@
+"""Warm single-point latency and abstain rate of the surrogate tier.
+
+Not a paper artifact: this bench tracks `repro.surrogate` (the learned
+prediction tier behind ``--tier surrogate|auto``).  It trains a model
+against the exact oracle, then measures
+
+- **warm single-point latency** — one ``Surrogate.answer`` on an
+  already-seen profile (base features cached) versus one exact
+  single-point ``ParallelProphet.predict`` against warm
+  calibration/burden state but an *uncached replay* (section memo
+  cleared per call — a memo hit is a repeat of an identical point,
+  which the serve layer's response cache already covers; the surrogate
+  competes with genuine emulation).  The ratio is the acceptance floor
+  (≥100x): the surrogate turns a per-point emulation into a feature
+  lookup plus a matrix-vector product;
+- **abstain rate** — the fraction of the acceptance grid (the
+  registered-workload grid ``repro check --quick`` verifies) the
+  ``auto`` tier would route to the exact fallback.  A model that
+  abstains everywhere is useless however fast it is, so the ceiling
+  guards the uncertainty calibration, not just the arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.executor import clear_section_memo
+from repro.core.prophet import ParallelProphet
+from repro.runtime.tasks import Schedule
+from repro.simhw.machine import WESTMERE_12
+from repro.surrogate.train import TrainConfig, quick_config, train
+from repro.workloads import get_workload
+
+#: Acceptance floor for the exact/surrogate warm single-point ratio.
+#: Measured ~3000x+ on the dev container: the exact path replays the
+#: program tree per point, the surrogate does one (d+1)-dot-product.
+SPEEDUP_FLOOR = 100.0
+
+#: Ceiling on the auto-tier abstain rate over the acceptance grid.  The
+#: confident strata must cover a useful share of real queries.
+ABSTAIN_CEILING = 0.9
+
+#: The acceptance grid: the registered workloads and thread counts the
+#: differential harness checks (``repro check --quick``), both methods.
+GRID_WORKLOADS = ("npb_ep", "npb_ft")
+GRID_THREADS = (2, 4, 8, 12)
+GRID_SCHEDULE = "static"
+
+
+def _time_point(fn, repeats: int) -> float:
+    """Median wall time of ``fn()`` over ``repeats`` calls."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def run_surrogate(quick: bool = False) -> dict:
+    """Train, then measure warm point latency and acceptance abstain rate."""
+    cfg = quick_config() if quick else TrainConfig()
+    t0 = time.perf_counter()
+    result = train(cfg)
+    train_s = time.perf_counter() - t0
+    surrogate = result.surrogate
+
+    prophet = ParallelProphet(machine=WESTMERE_12)
+    profile = prophet.profile(get_workload("npb_ep").program)
+    schedule = Schedule.parse(GRID_SCHEDULE)
+
+    # Warm both paths before timing: the exact path attaches burdens and
+    # builds its engine on first use, the surrogate caches base features.
+    point = dict(threads=[8], schedules=[GRID_SCHEDULE], methods=("syn",))
+    prophet.predict(profile, **point)
+    surrogate.answer(profile, WESTMERE_12, "syn", "omp", schedule, 8)
+
+    def exact_point() -> None:
+        # An uncached replay: clearing the memo costs ~us against the
+        # ~ms emulation and keeps repeats honest.
+        clear_section_memo()
+        prophet.predict(profile, **point)
+
+    repeats = 5 if quick else 15
+    exact_point_s = _time_point(exact_point, repeats)
+    surrogate_point_s = _time_point(
+        lambda: surrogate.answer(
+            profile, WESTMERE_12, "syn", "omp", schedule, 8
+        ),
+        repeats * 20,
+    )
+
+    # Abstain rate over the acceptance grid, exactly as the auto tier
+    # would gate it: unsupported or unconfident → exact fallback.
+    confident = total = 0
+    for name in GRID_WORKLOADS:
+        wl_profile = prophet.profile(get_workload(name).program)
+        for t in GRID_THREADS:
+            for method in ("ff", "syn"):
+                total += 1
+                ans = surrogate.answer(
+                    wl_profile, WESTMERE_12, method, "omp", schedule, t
+                )
+                if ans is not None and ans.confident:
+                    confident += 1
+
+    return {
+        "train_s": train_s,
+        "labelled": result.labelled,
+        "pool": result.pool,
+        "exact_point_s": exact_point_s,
+        "surrogate_point_s": surrogate_point_s,
+        "speedup": (
+            exact_point_s / surrogate_point_s
+            if surrogate_point_s > 0
+            else float("inf")
+        ),
+        "threshold": SPEEDUP_FLOOR,
+        "grid_points": total,
+        "confident_points": confident,
+        "abstain_rate": 1.0 - confident / total if total else 1.0,
+        "abstain_ceiling": ABSTAIN_CEILING,
+    }
+
+
+# ------------------------------------------------------- pytest-benchmark
+
+
+def test_surrogate_point_speedup(benchmark):
+    """A warm surrogate point answers ≥100x faster than the exact path,
+    and the auto tier answers a useful share of the acceptance grid."""
+    r = benchmark.pedantic(run_surrogate, kwargs=dict(quick=True), rounds=1)
+    assert r["speedup"] >= SPEEDUP_FLOOR, (
+        f"surrogate point latency regressed: {r['speedup']:.0f}x < "
+        f"{SPEEDUP_FLOOR:.0f}x (exact {r['exact_point_s'] * 1e3:.2f} ms, "
+        f"surrogate {r['surrogate_point_s'] * 1e6:.1f} us)"
+    )
+    assert r["abstain_rate"] <= ABSTAIN_CEILING, (
+        f"auto tier abstains on {r['abstain_rate']:.0%} of the acceptance "
+        f"grid (ceiling {ABSTAIN_CEILING:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    for key, value in run_surrogate().items():
+        print(f"{key}: {value}")

@@ -12,7 +12,9 @@ Floors checked:
 
 - columnar sweep speedup ≥ its recorded ``threshold`` (10x);
 - exploration envelope coverage == 100%;
-- serve cold/warm speedup ≥ its recorded ``threshold`` (5x).
+- serve cold/warm speedup ≥ its recorded ``threshold`` (5x);
+- surrogate warm point speedup ≥ its recorded ``threshold`` (100x) and
+  acceptance-grid abstain rate ≤ its recorded ``abstain_ceiling``.
 """
 
 from __future__ import annotations
@@ -39,6 +41,22 @@ def check(record: dict) -> list[str]:
             f"serve warm speedup {serve['speedup']:.1f}x "
             f"< floor {serve['threshold']:.0f}x"
         )
+    surrogate = record.get("surrogate")
+    if surrogate is None:
+        failures.append(
+            "no 'surrogate' record; regenerate with benchmarks/run_all.py"
+        )
+    else:
+        if surrogate["speedup"] < surrogate["threshold"]:
+            failures.append(
+                f"surrogate point speedup {surrogate['speedup']:.0f}x "
+                f"< floor {surrogate['threshold']:.0f}x"
+            )
+        if surrogate["abstain_rate"] > surrogate["abstain_ceiling"]:
+            failures.append(
+                f"surrogate abstain rate {surrogate['abstain_rate']:.0%} "
+                f"> ceiling {surrogate['abstain_ceiling']:.0%}"
+            )
     return failures
 
 

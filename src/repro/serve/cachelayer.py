@@ -63,13 +63,22 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: get_or_create races lost: a build that was discarded because a
+        #: concurrent creator inserted first.
+        self.races = 0
         self._data: OrderedDict[Any, Any] = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ ops
 
     def get(self, key: Any) -> Optional[Any]:
-        """Look up ``key``, refreshing recency; None on miss (instrumented)."""
+        """Look up ``key``, refreshing recency; None on miss (instrumented).
+
+        None doubles as the miss signal, which is why :meth:`put` refuses
+        to store it — a cached None would be indistinguishable from a miss
+        and re-built forever.  Falsy values that are not None (``0``,
+        ``""``, ``{}``) are cached and returned normally.
+        """
         with self._lock:
             value = self._data.get(key)
             if value is None:
@@ -81,34 +90,75 @@ class LRUCache:
         get_metrics().inc(f"serve.cache.{self.name}.hits")
         return value
 
+    def _insert(self, key: Any, value: Any) -> list:
+        """Insert under the caller-held lock; returns evicted values."""
+        evicted = []
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            _, old = self._data.popitem(last=False)
+            self.evictions += 1
+            evicted.append(old)
+        return evicted
+
+    def _dispose(self, evicted: list) -> None:
+        """Run eviction accounting/hooks outside the lock."""
+        if not evicted:
+            return
+        get_metrics().inc(
+            f"serve.cache.{self.name}.evictions", float(len(evicted))
+        )
+        if self.on_evict is not None:
+            for old in evicted:
+                self.on_evict(old)
+
     def put(self, key: Any, value: Any) -> None:
         """Insert ``value``, evicting least-recently-used entries over bound."""
-        evicted = []
+        if value is None:
+            raise ValueError(
+                f"cache {self.name!r}: None cannot be cached "
+                "(it is the miss signal)"
+            )
         with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                _, old = self._data.popitem(last=False)
-                self.evictions += 1
-                evicted.append(old)
-        if evicted:
-            get_metrics().inc(f"serve.cache.{self.name}.evictions", float(len(evicted)))
-            if self.on_evict is not None:
-                for old in evicted:
-                    self.on_evict(old)
+            evicted = self._insert(key, value)
+        self._dispose(evicted)
 
     def get_or_create(self, key: Any, factory: Callable[[], Any]) -> Any:
-        """``get`` falling back to ``factory()`` + ``put`` on miss.
+        """``get`` falling back to ``factory()`` on miss — first put wins.
 
-        The factory runs outside the cache lock (it may be expensive); two
-        racing creators may both build, last put wins — acceptable for the
-        idempotent values cached here.
+        The factory runs outside the cache lock (it may be expensive), so
+        two racing creators may both build; the insert is then
+        insert-if-absent under the lock.  The first value in stays (and is
+        what *every* racer returns); the loser's build is discarded through
+        ``on_evict`` so stateful values (predictors with executor caches,
+        registered metrics) are released instead of leaking.
         """
         value = self.get(key)
-        if value is None:
-            value = factory()
-            self.put(key, value)
-        return value
+        if value is not None:
+            return value
+        created = factory()
+        if created is None:
+            raise ValueError(
+                f"cache {self.name!r}: factory for {key!r} returned None "
+                "(None is the miss signal and cannot be cached)"
+            )
+        with self._lock:
+            existing = self._data.get(key)
+            if existing is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+                self.races += 1
+                evicted = []
+            else:
+                evicted = self._insert(key, created)
+        if existing is not None:
+            get_metrics().inc(f"serve.cache.{self.name}.races")
+            if self.on_evict is not None:
+                self.on_evict(created)
+            self._dispose(evicted)
+            return existing
+        self._dispose(evicted)
+        return created
 
     def clear(self) -> int:
         """Drop every entry (running ``on_evict``); returns the count."""

@@ -34,6 +34,9 @@ from repro.serve.workqueue import WorkQueue
 #: Methods a request may ask of the batch predictor.
 _METHODS = ("ff", "syn", "real")
 
+#: Prediction tiers a request may select (see ``docs/surrogate.md``).
+_TIERS = ("exact", "surrogate", "auto")
+
 
 def estimate_to_dict(est) -> dict[str, Any]:
     """JSON shape of one :class:`~repro.core.report.SpeedupEstimate`."""
@@ -79,10 +82,16 @@ class ServeState:
         cache: Optional[CacheLayer] = None,
         queue: Optional[WorkQueue] = None,
         budgets: Optional[RequestBudgets] = None,
+        default_tier: str = "exact",
     ) -> None:
+        if default_tier not in _TIERS:
+            raise ServeError(
+                f"unknown tier {default_tier!r} (expected one of {_TIERS})"
+            )
         self.cache = cache if cache is not None else CacheLayer()
         self.queue = queue if queue is not None else WorkQueue()
         self.budgets = budgets if budgets is not None else RequestBudgets()
+        self.default_tier = default_tier
         self.started = time.time()
         self.requests = 0
         #: Installed by the server: called (in a helper thread) on
@@ -154,6 +163,9 @@ class ServeState:
         for m in methods:
             if m not in _METHODS:
                 raise ServeError(f"unknown method {m!r} (expected one of {_METHODS})")
+        tier = str(payload.get("tier", self.default_tier))
+        if tier not in _TIERS:
+            raise ServeError(f"unknown tier {tier!r} (expected one of {_TIERS})")
         n_points = len(workloads) * len(schedules) * len(threads) * len(methods)
         self.budgets.check_grid(n_points)
         return {
@@ -164,6 +176,9 @@ class ServeState:
             "paradigm": payload.get("paradigm"),
             "memory_model": bool(payload.get("memory_model", True)),
             "cores": int(payload.get("cores", 12)),
+            # The tier is part of the canonical request — surrogate and
+            # exact answers for the same grid cache separately.
+            "tier": tier,
         }
 
     def _through_cache_and_queue(
@@ -221,6 +236,7 @@ class ServeState:
             "queue": self.queue.stats(),
             "cache": self.cache.stats(),
             "metrics": serve_counters,
+            "surrogate": metrics.counters(prefix="surrogate."),
             "hit_rates": {
                 name: rate
                 for name, rate in metrics.hit_rates().items()
@@ -263,6 +279,7 @@ class ServeState:
             paradigm=paradigm,
             memory_model=request["memory_model"],
             on_error="collect",
+            tier=request["tier"],
         )
         return {
             "request": request,

@@ -161,17 +161,27 @@ class WorkQueue:
 
         Returns True if every worker exited within ``timeout`` (None waits
         indefinitely).  Already-accepted jobs complete: the sentinels sit
-        *behind* them in FIFO order.
+        *behind* them in FIFO order.  Idempotent: a repeat call enqueues no
+        new sentinels but re-joins any still-running workers, so a False
+        (timed-out) shutdown can be retried and reports honestly.
         """
         with self._lock:
-            if self._closed:
-                return True
+            first = not self._closed
             self._closed = True
-        for _ in self._workers:
-            self._queue.put(_STOP)
+        if first:
+            # Sentinels go in exactly once; a repeat call must not enqueue
+            # another round that a later worker would mistake for fresh stop
+            # orders (or that would sit in a full queue forever).
+            for _ in self._workers:
+                self._queue.put(_STOP)
+        # Always re-join: an earlier call that timed out on a stuck worker
+        # reported False, and a repeat call must re-check rather than claim
+        # success for workers that may still be alive.
         deadline = Deadline(timeout) if timeout is not None else None
         alive = False
         for thread in self._workers:
+            if not thread.is_alive():
+                continue
             thread.join(deadline.remaining() if deadline is not None else None)
             alive = alive or thread.is_alive()
         return not alive
@@ -184,6 +194,7 @@ class WorkQueue:
                 "depth": self.depth,
                 "pending": self._queue.qsize(),
                 "workers": len(self._workers),
+                "alive": sum(1 for t in self._workers if t.is_alive()),
                 "active": self.active,
                 "submitted": self.submitted,
                 "completed": self.completed,

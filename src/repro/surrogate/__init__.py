@@ -1,0 +1,95 @@
+"""Learned surrogate prediction tier (see ``docs/surrogate.md``).
+
+A :class:`~repro.surrogate.model.Surrogate` is a small ridge-regression
+ensemble over deterministic program/machine/grid-point features that stands
+in for the exact emulators on warm interactive traffic.  Prediction entry
+points (:meth:`ParallelProphet.predict`, :class:`BatchPredictor`, the serve
+daemon) take ``tier="exact" | "surrogate" | "auto"``:
+
+- ``exact`` — the emulators, unchanged (the default everywhere).
+- ``surrogate`` — every answer the model supports comes from the model,
+  confident or not; unsupported points still fall back to the emulators.
+- ``auto`` — the model answers only where its ensemble spread is below its
+  calibrated threshold; everything else falls back to the exact path.
+  Hits/fallbacks/abstains are recorded under ``surrogate.*`` metrics.
+
+The process-wide default model used when callers don't pass one explicitly
+lives here: ``REPRO_SURROGATE_MODEL`` points at a pretrained JSON artifact;
+otherwise a quick model is trained in-process on first use (a few seconds,
+cached for the process lifetime).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from repro.surrogate.features import (
+    BASE_FEATURES,
+    FEATURE_NAMES,
+    POINT_FEATURES,
+    BaseFeatures,
+    base_features,
+    extract,
+    machine_signature,
+    point_features,
+)
+from repro.surrogate.model import (
+    RidgeEnsemble,
+    Surrogate,
+    SurrogateAnswer,
+)
+
+#: Environment variable naming a pretrained model JSON to load instead of
+#: training the quick default in-process.
+MODEL_ENV = "REPRO_SURROGATE_MODEL"
+
+_default_lock = threading.Lock()
+_default: Optional[Surrogate] = None
+
+
+def get_default_surrogate() -> Surrogate:
+    """The process-wide surrogate, loading or training it on first use.
+
+    Resolution order: a model previously installed with
+    :func:`set_default_surrogate`; the JSON named by ``REPRO_SURROGATE_MODEL``;
+    else a quick in-process training run against the default machine
+    (deterministic, a few seconds, cached for the process lifetime).
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            path = os.environ.get(MODEL_ENV)
+            if path:
+                _default = Surrogate.load(path)
+            else:
+                from repro.surrogate.train import TrainConfig, train
+
+                _default = train(TrainConfig()).surrogate
+        return _default
+
+
+def set_default_surrogate(surrogate: Optional[Surrogate]) -> None:
+    """Install (or with None, clear) the process-wide surrogate."""
+    global _default
+    with _default_lock:
+        _default = surrogate
+
+
+__all__ = [
+    "BASE_FEATURES",
+    "BaseFeatures",
+    "FEATURE_NAMES",
+    "MODEL_ENV",
+    "POINT_FEATURES",
+    "RidgeEnsemble",
+    "Surrogate",
+    "SurrogateAnswer",
+    "base_features",
+    "extract",
+    "get_default_surrogate",
+    "machine_signature",
+    "point_features",
+    "set_default_surrogate",
+]

@@ -1,0 +1,337 @@
+"""Deterministic feature extraction for the learned surrogate tier.
+
+The surrogate replaces an *emulation* with a table lookup, so its features
+must be computable without running any emulator: everything here derives
+from the program tree the interval profiler already recorded, the
+per-section hardware counters, the machine configuration, and the grid
+point being asked about (method, paradigm, schedule, thread count).
+
+The vector splits into two halves:
+
+- **base features** — a function of (profile, machine) only: work totals,
+  task-count/imbalance aggregates, lock/nesting/pipeline flags, per-section
+  memory demand versus the machine's DRAM peak.  These require a full tree
+  walk, so :func:`base_features` results are cached by the surrogate per
+  live profile object and the per-point cost stays microseconds.
+- **point features** — a function of the requested grid point: method and
+  paradigm one-hots, schedule family and chunk, thread count, and two
+  closed-form speedup priors (the Amdahl bound from the serial fraction and
+  the serialisation bound from the lock-work fraction, both in log space —
+  the same space the model predicts in).  A ridge model over these priors
+  starts from "textbook speedup" and learns the residual the emulators
+  actually produce.
+
+Feature order is frozen by :data:`BASE_FEATURES` / :data:`POINT_FEATURES`;
+saved models embed the names and refuse to load against a different schema.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.tree import NodeKind
+from repro.runtime.tasks import Schedule
+
+#: Names of the profile+machine half of the vector, in order.
+BASE_FEATURES = (
+    "log_serial_cycles",
+    "serial_fraction",
+    "n_sections",
+    "log_tasks",
+    "task_imbalance",
+    "lock_work_frac",
+    "has_locks",
+    "has_nested",
+    "has_pipeline",
+    "has_nowait",
+    "tree_depth",
+    "mean_mpi_x100",
+    "traffic_ratio",
+    "log2_cores",
+    "miss_stall_x100",
+    "log_dram_peak_gbs",
+)
+
+#: Names of the grid-point half of the vector, in order.
+POINT_FEATURES = (
+    "method_ff",
+    "paradigm_omp",
+    "paradigm_cilk",
+    "paradigm_omp_task",
+    "sched_static",
+    "sched_static_chunk",
+    "sched_dynamic",
+    "log_chunk",
+    "log2_threads",
+    "threads_frac",
+    "log_tasks_per_thread",
+    "parallel_cover",
+    "demand_pressure",
+    "memory_model",
+    "log_amdahl_bound",
+    "log_lock_bound",
+    "log_task_bound",
+    "ff_x_task_bound",
+    "locks_x_task_bound",
+    "dynamic_x_task_bound",
+)
+
+#: The full schema: base half then point half.
+FEATURE_NAMES = BASE_FEATURES + POINT_FEATURES
+
+
+def _span(node, t: int, chunk: int) -> float:
+    """Recursive work-span time estimate of ``node`` under ``t`` workers.
+
+    Sections schedule their tasks in waves of ``t`` chunks of ``chunk``
+    consecutive tasks; full waves cost a chunk of mean-length tasks each,
+    and the last wave finishes when its longest unit does.  Nested sections
+    recurse with the same ``t`` (nested parallelism shortens the enclosing
+    task, which is how the estimate can exceed a flat per-section bound —
+    the same reason the invariant checker caps nested speedups at
+    ``n_cores``, not ``t``).  Locks and runtime overheads are deliberately
+    ignored: this is a feature prior, and those effects are what the
+    ensemble learns as the residual.
+    """
+    if node.kind is NodeKind.SEC:
+        per = []
+        counts = []
+        for task in node.children:
+            per.append(sum(_span(c, t, chunk) for c in task.children))
+            counts.append(max(1, task.repeat))
+        n = sum(counts)
+        if n == 0 or not per:
+            return 0.0
+        total = sum(p * c for p, c in zip(per, counts))
+        mean = total / n
+        longest = max(per)
+        units = math.ceil(n / chunk)
+        waves = math.ceil(units / t)
+        last_unit = max(longest, mean * min(chunk, n)) if units > 1 else total
+        time = (waves - 1) * chunk * mean + min(last_unit, total)
+        return time * max(1, node.repeat)
+    if node.is_leaf:
+        return node.subtree_length()
+    return max(1, node.repeat) * sum(_span(c, t, chunk) for c in node.children)
+
+
+class BaseFeatures:
+    """Cached per-profile extraction state: the base vector plus the
+    program tree the thread-dependent speedup prior is computed from."""
+
+    __slots__ = ("vector", "tree", "total_cycles", "_bounds")
+
+    def __init__(self, vector: list, tree, total_cycles: float) -> None:
+        self.vector = vector
+        self.tree = tree
+        self.total_cycles = total_cycles
+        self._bounds: dict = {}
+
+    def task_bound(self, n_threads: int, chunk: int = 1) -> float:
+        """Closed-form speedup bound with task-count quantization.
+
+        ``serial_cycles / span(t)`` over the recursive estimate above — a
+        single-task section parallelizes not at all, 13 equal tasks on 12
+        threads take two waves, a chunk of 4 over 9 tasks caps concurrency
+        at 3.  Cached per (threads, chunk): the tree walk runs once per
+        distinct grid shape, not once per prediction.
+        """
+        if self.total_cycles <= 0:
+            return 1.0
+        t = max(1, n_threads)
+        chunk = max(1, chunk)
+        key = (t, chunk)
+        bound = self._bounds.get(key)
+        if bound is None:
+            span = sum(_span(c, t, chunk) for c in self.tree.root.children)
+            bound = self.total_cycles / max(span, 1e-9)
+            self._bounds[key] = bound
+        return bound
+
+
+def _section_stats(section) -> dict:
+    """Task-level aggregates of one top-level SEC node (repeats expanded)."""
+    n_tasks = 0
+    lengths_sum = 0.0
+    lengths_max = 0.0
+    lock_cycles = 0.0
+    nested = False
+    for task in section.children:
+        per_instance = (
+            task.subtree_length() / task.repeat if task.repeat else 0.0
+        )
+        n_tasks += task.repeat
+        lengths_sum += task.subtree_length()
+        lengths_max = max(lengths_max, per_instance)
+        for node in task.walk():
+            if node.kind is NodeKind.SEC:
+                nested = True
+            if node.kind is NodeKind.L:
+                lock_cycles += node.subtree_length()
+    mean_len = lengths_sum / n_tasks if n_tasks else 0.0
+    return {
+        "n_tasks": n_tasks,
+        "cycles": section.subtree_length(),
+        "imbalance": (lengths_max / mean_len) if mean_len > 0 else 1.0,
+        "lock_cycles": lock_cycles * section.repeat,
+        "nested": nested,
+        "pipeline": bool(section.pipeline),
+        "nowait": bool(section.nowait),
+    }
+
+
+def base_features(profile, machine) -> BaseFeatures:
+    """The (profile, machine) half of the vector — one full tree walk.
+
+    Section aggregates are weighted by each section's share of the total
+    parallel work, so a tiny prologue loop cannot dominate the signature of
+    a program whose time lives in one big section.  The returned
+    :class:`BaseFeatures` also carries the per-section summary
+    :meth:`BaseFeatures.task_bound` evaluates per thread count.
+    """
+    tree = profile.tree
+    serial = tree.serial_cycles()
+    sections = tree.top_level_sections()
+    stats = [_section_stats(s) for s in sections]
+    section_cycles = sum(s["cycles"] for s in stats)
+    weights = [
+        (s["cycles"] / section_cycles) if section_cycles > 0 else 0.0
+        for s in stats
+    ]
+
+    def wmean(key, transform=lambda v: v) -> float:
+        return sum(w * transform(s[key]) for w, s in zip(weights, stats))
+
+    lock_frac = (
+        sum(s["lock_cycles"] for s in stats) / section_cycles
+        if section_cycles > 0
+        else 0.0
+    )
+    # Per-section memory demand, weighted the same way; sections the counter
+    # pass never saw (name mismatch) contribute zero demand.
+    mpi = traffic = 0.0
+    peak_mbs = machine.dram_peak_gbs * 1e3
+    for w, section in zip(weights, sections):
+        counters = profile.sections.get(section.name)
+        if counters is None:
+            continue
+        mpi += w * counters.mpi
+        traffic += w * counters.traffic_mbs(machine)
+    vector = [
+        math.log10(1.0 + serial),
+        tree.serial_fraction(),
+        float(len(sections)),
+        wmean("n_tasks", lambda v: math.log10(1.0 + v)),
+        min(wmean("imbalance"), 16.0),
+        min(lock_frac, 1.0),
+        1.0 if any(s["lock_cycles"] > 0 for s in stats) else 0.0,
+        1.0 if any(s["nested"] for s in stats) else 0.0,
+        1.0 if any(s["pipeline"] for s in stats) else 0.0,
+        1.0 if any(s["nowait"] for s in stats) else 0.0,
+        float(tree.max_depth()),
+        100.0 * mpi,
+        traffic / peak_mbs if peak_mbs > 0 else 0.0,
+        math.log2(max(1, machine.n_cores)),
+        machine.base_miss_stall / 100.0,
+        math.log10(max(machine.dram_peak_gbs, 1e-9)),
+    ]
+    return BaseFeatures(vector=vector, tree=tree, total_cycles=serial)
+
+
+def point_features(
+    base: BaseFeatures,
+    machine,
+    method: str,
+    paradigm: str,
+    schedule: Schedule,
+    n_threads: int,
+    memory_model: bool,
+) -> list[float]:
+    """Assemble the full vector for one grid point from cached ``base``."""
+    vec = base.vector
+    serial_frac = vec[BASE_FEATURES.index("serial_fraction")]
+    log_tasks = vec[BASE_FEATURES.index("log_tasks")]
+    lock_frac = vec[BASE_FEATURES.index("lock_work_frac")]
+    has_locks = vec[BASE_FEATURES.index("has_locks")]
+    traffic_ratio = vec[BASE_FEATURES.index("traffic_ratio")]
+    tasks = 10.0 ** log_tasks - 1.0
+    t = float(n_threads)
+    # Closed-form priors, in the model's own log-speedup space.
+    amdahl = 1.0 / (serial_frac + (1.0 - serial_frac) / t)
+    lock_bound = 1.0 / (lock_frac + (1.0 - lock_frac) / t)
+    chunked = schedule.kind.value == "static_chunk"
+    dynamic = schedule.is_dynamic_family
+    log_task_bound = math.log(
+        max(
+            base.task_bound(
+                n_threads,
+                schedule.chunk if (chunked or dynamic) and schedule.chunk else 1,
+            ),
+            1e-9,
+        )
+    )
+    return list(vec) + [
+        1.0 if method == "ff" else 0.0,
+        1.0 if paradigm == "omp" else 0.0,
+        1.0 if paradigm == "cilk" else 0.0,
+        1.0 if paradigm == "omp_task" else 0.0,
+        1.0 if schedule.kind.value == "static" else 0.0,
+        1.0 if chunked else 0.0,
+        1.0 if schedule.is_dynamic_family else 0.0,
+        math.log10(1.0 + schedule.chunk) if (chunked or schedule.is_dynamic_family) else 0.0,
+        math.log2(max(t, 1.0)),
+        t / max(1, machine.n_cores),
+        math.log10(1.0 + tasks / t),
+        min(1.0, tasks / t) if t > 0 else 0.0,
+        min(traffic_ratio * t, 8.0),
+        1.0 if memory_model else 0.0,
+        math.log(max(amdahl, 1e-9)),
+        math.log(max(lock_bound, 1e-9)),
+        log_task_bound,
+        log_task_bound * (1.0 if method == "ff" else 0.0),
+        log_task_bound * has_locks,
+        log_task_bound * (1.0 if dynamic else 0.0),
+    ]
+
+
+def machine_signature(machine) -> tuple:
+    """The machine fields the surrogate was (or was not) trained on.
+
+    A model only answers for machine shapes it saw during training — the
+    feature space covers the machine parameters, but extrapolating a linear
+    model to an unseen memory system is exactly the silent-wrongness the
+    exact-fallback tier exists to prevent.
+    """
+    return (
+        machine.n_cores,
+        machine.n_sockets,
+        machine.freq_ghz,
+        machine.line_size,
+        machine.llc_bytes,
+        machine.base_miss_stall,
+        machine.dram_peak_gbs,
+        machine.dram_queue_gain,
+        machine.timeslice_cycles,
+        machine.context_switch_cycles,
+    )
+
+
+def extract(
+    profile,
+    machine,
+    method: str,
+    paradigm: str,
+    schedule: Schedule | str,
+    n_threads: int,
+    memory_model: bool = True,
+    base: Optional[BaseFeatures] = None,
+) -> list[float]:
+    """One full feature vector (convenience for training and tests)."""
+    if isinstance(schedule, str):
+        schedule = Schedule.parse(schedule)
+    if base is None:
+        base = base_features(profile, machine)
+    return point_features(
+        base, machine, method, paradigm, schedule, n_threads, memory_model
+    )

@@ -1,0 +1,371 @@
+"""Training-set generation and active-learning loop for the surrogate tier.
+
+The exact pipeline is its own labelling oracle: every grid point the
+surrogate should answer can be computed by :class:`repro.core.batch`'s
+sweeper (which routes through the columnar engine where it applies), so
+"training data" is just a deterministic corpus of profiles × grid points
+pushed through the oracle.  The corpus mixes the registered workloads
+(realistic memory behaviour) with seeded fuzz programs (structural
+coverage: locks, nesting, imbalance shapes the workloads don't hit).
+
+Labelling is the expensive part, so the loop is *active*: a small seed set
+is labelled up front, the ensemble is fitted, and each refinement round
+labels only the pool points where the ensemble members disagree most
+(highest spread).  Selection uses a stable sort over (spread, index) so
+the same seed and grid always label the same points in the same order —
+the saved model is byte-identical across runs.
+
+The spread threshold that gates the ``auto`` tier is calibrated on a
+held-out labelled validation slice: the largest spread below which every
+validation answer stays within 0.8× the surrogate tolerance class.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchPredictor, SweepTask
+from repro.core.prophet import ParallelProphet
+from repro.errors import ConfigurationError
+from repro.runtime.tasks import Schedule
+from repro.simhw.machine import WESTMERE_12, MachineConfig
+from repro.surrogate.features import (
+    BASE_FEATURES,
+    base_features,
+    extract,
+    machine_signature,
+)
+from repro.surrogate.model import RidgeEnsemble, Surrogate, stratum_key
+from repro.validate.fuzz import build_program, generate_program
+from repro.validate.policy import SURROGATE_TOLERANCE
+
+
+@dataclass
+class TrainConfig:
+    """Everything that determines a training run (and hence the artifact)."""
+
+    seed: int = 0
+    machine: MachineConfig = WESTMERE_12
+    #: Registered workloads in the corpus, profiled at each scale below.
+    #: Full scale (1.0) must be present: it is what ``predict``/``sweep``
+    #: callers actually query, and the spread gate only opens near the
+    #: training distribution.  The smaller scales widen the serial-cycles
+    #: axis so scaled/sliced profiles stay in-distribution too.
+    workloads: Sequence[str] = ("npb_ep", "npb_ft")
+    workload_scales: Sequence[float] = (1.0, 0.1)
+    #: Seeded fuzz programs in the corpus.
+    fuzz_programs: int = 12
+    threads: Sequence[int] = (2, 4, 6, 8, 12)
+    schedules: Sequence[str] = ("static", "static,4", "dynamic,4")
+    methods: Sequence[str] = ("ff", "syn")
+    #: Both memory-model settings are in the grid so the ``memory_model``
+    #: feature is informative — otherwise the column is constant and every
+    #: off-setting query is out-of-distribution (answered unconfidently).
+    memory_models: Sequence[bool] = (True, False)
+    #: Active-learning shape: seed labels, then ``rounds`` × ``batch`` more.
+    initial: int = 256
+    rounds: int = 4
+    batch: int = 128
+    #: Held-out labelled slice for spread-threshold calibration.
+    validation: int = 128
+    n_models: int = 8
+    ridge: float = 1e-2
+    #: Bootstrap resample fraction (see :class:`RidgeEnsemble`).
+    subsample: float = 0.5
+    jobs: int = 1
+    #: Error budget (relative speedup error vs the oracle) a confident
+    #: answer must stay within on the validation slice.
+    target_error: float = field(default=0.8 * SURROGATE_TOLERANCE)
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One unlabelled pool entry: a (profile, grid point) pair."""
+
+    workload: str
+    method: str
+    schedule: str
+    n_threads: int
+    memory_model: bool
+
+
+@dataclass
+class TrainResult:
+    """The trained surrogate plus the numbers a caller may want to log."""
+
+    surrogate: Surrogate
+    labelled: int
+    pool: int
+    validation_error_max: float
+    validation_confident_frac: float
+
+
+def build_corpus(cfg: TrainConfig, prophet: ParallelProphet) -> dict:
+    """Profile the training corpus: registered workloads + seeded fuzz."""
+    from repro.workloads import get_workload
+
+    profiles = {}
+    for name in cfg.workloads:
+        for scale in cfg.workload_scales:
+            spec = get_workload(name, scale=scale)
+            profiles[f"{name}@{scale:g}"] = prophet.profile(spec.program)
+    rng = random.Random(cfg.seed)
+    for i in range(cfg.fuzz_programs):
+        program = build_program(generate_program(rng))
+        profiles[f"fuzz-{cfg.seed}-{i}"] = prophet.profile(program)
+    return profiles
+
+
+def _label(
+    predictor: BatchPredictor,
+    profiles: dict,
+    candidates: Sequence[_Candidate],
+) -> list[float]:
+    """Oracle-label candidates: log speedup from the exact sweeper."""
+    tasks = [
+        SweepTask(
+            workload=c.workload,
+            schedule=c.schedule,
+            n_threads=c.n_threads,
+            methods=(c.method,),
+            memory_model=c.memory_model,
+        )
+        for c in candidates
+    ]
+    labels = []
+    for _task, outcome in predictor.run(tasks, profiles):
+        (estimate,) = outcome
+        labels.append(math.log(max(estimate.speedup, 1e-9)))
+    return labels
+
+
+def train(cfg: Optional[TrainConfig] = None) -> TrainResult:
+    """Run the full corpus → oracle → active-learning → calibration loop."""
+    cfg = cfg or TrainConfig()
+    if cfg.initial < 2:
+        raise ConfigurationError(f"initial must be >= 2, got {cfg.initial}")
+    prophet = ParallelProphet(machine=cfg.machine)
+    predictor = BatchPredictor(prophet, jobs=cfg.jobs)
+    profiles = build_corpus(cfg, prophet)
+
+    # The full candidate pool, in deterministic grid order.
+    schedules = [Schedule.parse(s).label for s in cfg.schedules]
+    pool = [
+        _Candidate(name, method, schedule, t, mm)
+        for name in profiles
+        for method in cfg.methods
+        for schedule in schedules
+        for t in cfg.threads
+        for mm in cfg.memory_models
+    ]
+    bases = {
+        name: base_features(profile, cfg.machine)
+        for name, profile in profiles.items()
+    }
+
+    def vectors(cands: Sequence[_Candidate]) -> np.ndarray:
+        return np.asarray(
+            [
+                extract(
+                    profiles[c.workload],
+                    cfg.machine,
+                    c.method,
+                    c.schedule,
+                    Schedule.parse(c.schedule),
+                    c.n_threads,
+                    c.memory_model,
+                    base=bases[c.workload],
+                )
+                for c in cands
+            ],
+            dtype=np.float64,
+        )
+
+    # Deterministic shuffle, then carve off validation + seed slices.
+    rng = random.Random(cfg.seed + 1)
+    order = list(range(len(pool)))
+    rng.shuffle(order)
+    val_idx = order[: min(cfg.validation, max(0, len(order) - cfg.initial))]
+    rest = order[len(val_idx):]
+    seed_idx = rest[: min(cfg.initial, len(rest))]
+    unlabelled = rest[len(seed_idx):]
+
+    labelled_idx = list(seed_idx)
+    labels = dict(
+        zip(
+            labelled_idx,
+            _label(predictor, profiles, [pool[i] for i in labelled_idx]),
+        )
+    )
+
+    ensemble = RidgeEnsemble(
+        n_models=cfg.n_models,
+        ridge=cfg.ridge,
+        seed=cfg.seed,
+        subsample=cfg.subsample,
+    )
+
+    def fit() -> None:
+        X = vectors([pool[i] for i in labelled_idx])
+        y = np.asarray([labels[i] for i in labelled_idx])
+        ensemble.fit(X, y)
+
+    fit()
+    for _round in range(cfg.rounds):
+        if not unlabelled:
+            break
+        _mean, spread = ensemble.predict(
+            vectors([pool[i] for i in unlabelled])
+        )
+        # Highest-spread first; ties broken by pool index so the same run
+        # always labels the same points (np.argsort stable + index key).
+        ranked = sorted(
+            range(len(unlabelled)),
+            key=lambda j: (-spread[j], unlabelled[j]),
+        )
+        picked_positions = ranked[: cfg.batch]
+        picked = [unlabelled[j] for j in picked_positions]
+        for index, label in zip(
+            picked,
+            _label(predictor, profiles, [pool[i] for i in picked]),
+        ):
+            labels[index] = label
+        labelled_idx.extend(picked)
+        unlabelled = [i for i in unlabelled if i not in set(picked)]
+        fit()
+
+    # ---------------------------------------------------- threshold calibration
+    locks_idx = BASE_FEATURES.index("has_locks")
+    val = [pool[i] for i in val_idx]
+    thresholds: dict[str, float] = {}
+    if val:
+        val_labels = _label(predictor, profiles, val)
+        mean, spread = ensemble.predict(vectors(val))
+        pred = np.minimum(
+            np.exp(mean), np.asarray([c.n_threads for c in val], dtype=float)
+        )
+        exact = np.exp(np.asarray(val_labels))
+        rel_err = np.abs(pred - exact) / np.maximum(exact, 1e-9)
+        strata = [
+            stratum_key(
+                c.method, bases[c.workload].vector[locks_idx] > 0.0
+            )
+            for c in val
+        ]
+        # Per stratum: the largest spread prefix whose worst relative error
+        # stays inside the target budget (sort by spread ascending, take
+        # the longest prefix).  Strata are calibrated independently so the
+        # hardest-to-regress one (the FF on lock-bearing trees) abstains
+        # without vetoing the rest.
+        confident = np.zeros(len(val), dtype=bool)
+        for key in sorted(set(strata)):
+            members = [j for j, s in enumerate(strata) if s == key]
+            members.sort(key=lambda j: (spread[j], j))
+            threshold = 0.0
+            worst = 0.0
+            for j in members:
+                worst = max(worst, float(rel_err[j]))
+                if worst > cfg.target_error:
+                    break
+                threshold = float(spread[j])
+            thresholds[key] = threshold
+            if threshold > 0.0:
+                for j in members:
+                    if spread[j] <= threshold:
+                        confident[j] = True
+        confident_frac = float(confident.mean())
+        err_max = (
+            float(rel_err[confident].max()) if confident.any() else 0.0
+        )
+    else:
+        confident_frac = 0.0
+        err_max = 0.0
+
+    surrogate = Surrogate(
+        model=ensemble,
+        spread_thresholds=thresholds,
+        machines=[machine_signature(cfg.machine)],
+        paradigms=("omp",),
+        meta={
+            "seed": cfg.seed,
+            "workloads": list(cfg.workloads),
+            "fuzz_programs": cfg.fuzz_programs,
+            "threads": list(cfg.threads),
+            "schedules": list(schedules),
+            "methods": list(cfg.methods),
+            "memory_models": [bool(m) for m in cfg.memory_models],
+            "labelled": len(labelled_idx),
+            "pool": len(pool),
+            "rounds": cfg.rounds,
+            "target_error": cfg.target_error,
+        },
+    )
+    return TrainResult(
+        surrogate=surrogate,
+        labelled=len(labelled_idx),
+        pool=len(pool),
+        validation_error_max=err_max,
+        validation_confident_frac=confident_frac,
+    )
+
+
+def quick_config(seed: int = 0, machine: MachineConfig = WESTMERE_12) -> TrainConfig:
+    """The small default configuration behind :func:`get_default_surrogate`.
+
+    Sized to train in a few seconds: a reduced corpus and grid, two
+    refinement rounds.  Serving deployments should train a full
+    :class:`TrainConfig` offline and point ``REPRO_SURROGATE_MODEL`` at it.
+    """
+    return TrainConfig(
+        seed=seed,
+        machine=machine,
+        workloads=("npb_ep",),
+        workload_scales=(1.0, 0.05),
+        fuzz_programs=8,
+        threads=(2, 4, 8, machine.n_cores)
+        if machine.n_cores not in (2, 4, 8)
+        else (2, 4, 8),
+        schedules=("static", "static,4"),
+        initial=128,
+        rounds=3,
+        batch=48,
+        validation=64,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.surrogate.train -o model.json``"""
+    parser = argparse.ArgumentParser(
+        description="Train the repro surrogate model against the exact oracle."
+    )
+    parser.add_argument("-o", "--output", required=True, help="model JSON path")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true", help="small config")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    cfg = quick_config(seed=args.seed) if args.quick else TrainConfig(seed=args.seed)
+    cfg.jobs = args.jobs
+    result = train(cfg)
+    result.surrogate.save(args.output)
+    thresholds = ", ".join(
+        f"{k}={v:.4f}"
+        for k, v in sorted(result.surrogate.spread_thresholds.items())
+    )
+    print(
+        f"trained on {result.labelled}/{result.pool} grid points; "
+        f"validation max rel err {result.validation_error_max:.3f}, "
+        f"confident on {result.validation_confident_frac:.0%} "
+        f"(thresholds {thresholds})"
+    )
+    print(f"saved {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from repro.validate.differential import (
     DifferentialReport,
     GridPoint,
     TolerancePolicy,
+    verify_surrogate,
 )
 from repro.validate.fuzz import (
     build_program,
@@ -41,6 +42,7 @@ from repro.validate.policy import (
     FF_BOUND_TOLERANCE,
     FF_TOLERANCE,
     REAL_TOLERANCE,
+    SURROGATE_TOLERANCE,
     SYN_TOLERANCE,
 )
 
@@ -54,6 +56,7 @@ __all__ = [
     "GridPoint",
     "InvariantChecker",
     "REAL_TOLERANCE",
+    "SURROGATE_TOLERANCE",
     "SYN_TOLERANCE",
     "TolerancePolicy",
     "Violation",
@@ -65,4 +68,5 @@ __all__ = [
     "has_nested_sections",
     "run_fuzz",
     "set_checker",
+    "verify_surrogate",
 ]

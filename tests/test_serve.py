@@ -201,7 +201,16 @@ class TestBudgets:
                 b"Content-Length: 2097152\r\n"
                 b"\r\n"
             )
-            reply = sock.recv(65536).decode()
+            # The refusal closes the connection, so read to EOF — a single
+            # recv may return only the first TCP segment (headers without
+            # the JSON body) and flake.
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+            reply = b"".join(chunks).decode()
         assert reply.split("\r\n", 1)[0].split()[1] == "413"
         assert "body_too_large" in reply
 

@@ -130,6 +130,56 @@ class TestLRUCache:
         assert cache.get_or_create("k", factory) == "built"
         assert len(calls) == 1
 
+    def test_get_or_create_race_first_put_wins(self, fresh_metrics):
+        # Four racing creators on one key: all of them build (the factory
+        # runs outside the lock), but every racer returns the single value
+        # that won the insert, and the losing builds are released through
+        # on_evict instead of leaking.
+        released = []
+        cache = LRUCache("t", maxsize=4, on_evict=released.append)
+        barrier = threading.Barrier(4)
+        builds = []
+        results = [None] * 4
+
+        def run(i):
+            def factory():
+                barrier.wait(10.0)
+                builds.append(i)
+                return f"built-{i}"
+
+            results[i] = cache.get_or_create("k", factory)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert len(builds) == 4
+        assert len(set(results)) == 1
+        winner = results[0]
+        assert cache.get("k") == winner
+        assert sorted(released) == sorted(
+            f"built-{i}" for i in range(4) if f"built-{i}" != winner
+        )
+        assert cache.info()["size"] == 1
+        assert cache.races == 3
+        assert fresh_metrics.counters()["serve.cache.t.races"] == 3
+
+    def test_none_values_rejected(self):
+        # None is the miss signal: caching it would make the entry
+        # indistinguishable from a miss and rebuilt forever.
+        cache = LRUCache("t", maxsize=4)
+        with pytest.raises(ValueError, match="miss signal"):
+            cache.put("k", None)
+        with pytest.raises(ValueError, match="miss signal"):
+            cache.get_or_create("k", lambda: None)
+
+    def test_falsy_non_none_values_are_cached(self):
+        cache = LRUCache("t", maxsize=4)
+        cache.put("zero", 0)
+        assert cache.get("zero") == 0
+        assert cache.get_or_create("zero", lambda: 99) == 0
+
     def test_bad_maxsize_rejected(self):
         with pytest.raises(ValueError):
             LRUCache("t", maxsize=0)
@@ -232,6 +282,30 @@ class TestWorkQueue:
         q = WorkQueue(workers=1, depth=4)
         assert q.shutdown(timeout=5.0)
         assert q.shutdown(timeout=5.0)
+
+    def test_shutdown_timeout_reports_stuck_worker(self):
+        # A worker wedged in a job outlives the shutdown deadline: the
+        # call must return False, stats() must report the zombie as alive,
+        # and a *repeat* shutdown must re-check instead of claiming
+        # success — until the job unblocks, after which shutdown succeeds
+        # and the worker really exits.
+        release = threading.Event()
+        q = WorkQueue(workers=1, depth=4)
+        q.submit(release.wait, Deadline(30.0), label="stuck")
+        assert q.stats()["alive"] == 1
+        assert q.shutdown(timeout=0.1) is False
+        assert q.stats()["alive"] == 1
+        assert q.shutdown(timeout=0.1) is False  # idempotent *and* honest
+        release.set()
+        assert q.shutdown(timeout=10.0) is True
+        assert q.stats()["alive"] == 0
+
+    def test_stats_reports_alive_workers(self):
+        q = WorkQueue(workers=2, depth=4)
+        stats = q.stats()
+        assert stats["workers"] == 2 and stats["alive"] == 2
+        assert q.shutdown(timeout=10.0)
+        assert q.stats()["alive"] == 0
 
     def test_bad_shape_rejected(self):
         with pytest.raises(ValueError):

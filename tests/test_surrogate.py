@@ -1,0 +1,284 @@
+"""Tests for the learned surrogate prediction tier.
+
+Covers the feature extraction contract, the ridge-ensemble model and its
+canonical JSON artifact, training determinism (the acceptance criterion:
+same seed + grid → byte-identical saved model), and the tier wiring —
+``tier="surrogate" | "auto"`` on :meth:`ParallelProphet.predict` and
+:class:`BatchPredictor`, with every ``auto`` answer within the surrogate
+tolerance class of the exact pipeline it stands in for.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ParallelProphet
+from repro.core.batch import BatchPredictor, SweepTask
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, set_metrics
+from repro.runtime.tasks import Schedule
+from repro.simhw.machine import WESTMERE_12, MachineConfig
+from repro.surrogate import (
+    FEATURE_NAMES,
+    RidgeEnsemble,
+    Surrogate,
+    base_features,
+    extract,
+    get_default_surrogate,
+    machine_signature,
+    set_default_surrogate,
+)
+from repro.surrogate.train import quick_config, train
+from repro.validate import SURROGATE_TOLERANCE, verify_surrogate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One quick training run shared by the module (deterministic)."""
+    return train(quick_config())
+
+
+@pytest.fixture(scope="module")
+def surrogate(quick_result):
+    return quick_result.surrogate
+
+
+@pytest.fixture(scope="module")
+def prophet():
+    return ParallelProphet(machine=WESTMERE_12)
+
+
+@pytest.fixture(scope="module")
+def ep_profile(prophet):
+    return prophet.profile(get_workload("npb_ep", scale=0.05).program)
+
+
+@pytest.fixture(autouse=True)
+def _pin_default_surrogate(surrogate):
+    """Tier tests must not depend on (or trigger) an in-process training
+    run of the full default config; pin the quick model for the module."""
+    set_default_surrogate(surrogate)
+    yield
+    set_default_surrogate(None)
+
+
+class TestFeatures:
+    def test_vector_matches_schema(self, ep_profile):
+        x = np.asarray(
+            extract(ep_profile, WESTMERE_12, "syn", "omp", "static", 4, True)
+        )
+        assert x.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(x))
+
+    def test_deterministic(self, ep_profile):
+        args = (ep_profile, WESTMERE_12, "ff", "omp", "static,4", 8, False)
+        assert np.array_equal(extract(*args), extract(*args))
+
+    def test_point_features_vary_with_grid_point(self, ep_profile):
+        base = base_features(ep_profile, WESTMERE_12)
+        a = extract(
+            ep_profile, WESTMERE_12, "syn", "omp", "static", 2, True, base=base
+        )
+        b = extract(
+            ep_profile, WESTMERE_12, "syn", "omp", "static", 8, True, base=base
+        )
+        assert not np.array_equal(a, b)
+
+    def test_machine_signature_distinguishes_shapes(self):
+        assert machine_signature(WESTMERE_12) != machine_signature(
+            MachineConfig(n_cores=4)
+        )
+
+
+class TestRidgeEnsemble:
+    def test_fit_predict_shapes_and_determinism(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 5))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0, 3.0]) + 0.1
+        a = RidgeEnsemble(n_models=6, seed=3).fit(X, y)
+        b = RidgeEnsemble(n_models=6, seed=3).fit(X, y)
+        mean_a, spread_a = a.predict(X)
+        mean_b, spread_b = b.predict(X)
+        assert mean_a.shape == spread_a.shape == (60,)
+        assert np.array_equal(mean_a, mean_b)
+        assert np.array_equal(spread_a, spread_b)
+        # A clean linear target is fit nearly exactly by the full-set member.
+        assert float(np.abs(mean_a - y).max()) < 0.5
+
+    def test_roundtrip_preserves_predictions(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        ens = RidgeEnsemble(n_models=4, seed=1).fit(X, y)
+        clone = RidgeEnsemble.from_dict(ens.to_dict())
+        assert np.array_equal(ens.predict(X)[0], clone.predict(X)[0])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RidgeEnsemble(n_models=0)
+        with pytest.raises(ConfigurationError):
+            RidgeEnsemble(ridge=0.0)
+        with pytest.raises(ConfigurationError):
+            RidgeEnsemble(subsample=0.0)
+        with pytest.raises(ConfigurationError):
+            RidgeEnsemble().predict(np.zeros((1, 2)))
+
+
+class TestTrainingDeterminism:
+    def test_same_seed_and_grid_is_byte_identical(self, quick_result):
+        again = train(quick_config())
+        assert again.surrogate.to_json() == quick_result.surrogate.to_json()
+
+    def test_artifact_roundtrip(self, surrogate, tmp_path):
+        path = tmp_path / "model.json"
+        surrogate.save(path)
+        loaded = Surrogate.load(path)
+        assert loaded.to_json() == surrogate.to_json()
+        # and the canonical form really is canonical
+        assert json.loads(surrogate.to_json()) == surrogate.to_dict()
+
+    def test_wrong_schema_rejected(self, surrogate):
+        payload = surrogate.to_dict()
+        payload["feature_names"] = ["bogus"]
+        with pytest.raises(ConfigurationError, match="feature schema"):
+            Surrogate.from_dict(payload)
+        with pytest.raises(ConfigurationError, match="not a repro surrogate"):
+            Surrogate.from_dict({"kind": "something-else"})
+
+    def test_calibration_produces_confident_strata(self, quick_result):
+        # The quick model must be useful, not just well-formed: a healthy
+        # fraction of the validation slice answers confidently and stays
+        # inside the training error budget.
+        assert quick_result.validation_confident_frac > 0.2
+        assert quick_result.validation_error_max <= 0.8 * SURROGATE_TOLERANCE
+
+
+class TestAnswering:
+    def test_unsupported_points_return_none(self, surrogate, ep_profile):
+        machine = WESTMERE_12
+        sched = Schedule.parse("static")
+        assert surrogate.answer(
+            ep_profile, machine, "real", "omp", sched, 4
+        ) is None
+        assert surrogate.answer(
+            ep_profile, machine, "syn", "cilk", sched, 4
+        ) is None
+        other = MachineConfig(n_cores=6)
+        assert surrogate.answer(
+            ep_profile, other, "syn", "omp", sched, 4
+        ) is None
+
+    def test_answers_respect_invariant_caps(self, surrogate, ep_profile):
+        for t in (2, 4, 8):
+            for method in ("ff", "syn"):
+                ans = surrogate.answer(
+                    ep_profile, WESTMERE_12, method, "omp",
+                    Schedule.parse("static"), t,
+                )
+                assert ans is not None
+                cap = t if method == "ff" else min(t, WESTMERE_12.n_cores)
+                assert 0.0 < ans.speedup <= cap + 1e-9
+
+
+class TestTierWiring:
+    def test_prophet_auto_tier_within_tolerance(self, prophet, ep_profile):
+        threads = [2, 4, 8]
+        exact = prophet.predict(
+            ep_profile, threads=threads, methods=("ff", "syn"),
+            schedules=["static"], memory_model=False,
+        )
+        auto = prophet.predict(
+            ep_profile, threads=threads, methods=("ff", "syn"),
+            schedules=["static"], memory_model=False, tier="auto",
+        )
+        assert len(auto.estimates) == len(exact.estimates)
+        for e_exact, e_auto in zip(exact.estimates, auto.estimates):
+            assert (e_exact.method, e_exact.n_threads) == (
+                e_auto.method, e_auto.n_threads
+            )
+            ref = e_exact.speedup
+            assert abs(e_auto.speedup - ref) / ref <= SURROGATE_TOLERANCE
+
+    def test_prophet_tier_metrics_account_for_every_point(
+        self, prophet, ep_profile, fresh_metrics
+    ):
+        threads = [2, 4, 8]
+        prophet.predict(
+            ep_profile, threads=threads, methods=("ff", "syn"),
+            schedules=["static"], memory_model=False, tier="auto",
+        )
+        counters = fresh_metrics.counters(prefix="surrogate.")
+        hits = counters.get("surrogate.hits", 0)
+        abstains = counters.get("surrogate.abstains", 0)
+        fallbacks = counters.get("surrogate.fallbacks", 0)
+        # Every (method, t) point is either a surrogate hit or an exact
+        # fallback, and every abstention is one of the fallbacks.
+        assert hits + fallbacks == 2 * len(threads)
+        assert abstains <= fallbacks
+
+    def test_prophet_rejects_unknown_tier(self, prophet, ep_profile):
+        with pytest.raises(ConfigurationError, match="tier"):
+            prophet.predict(ep_profile, threads=[2], tier="bogus")
+
+    def test_batch_tier_jobs_parity(self, prophet, ep_profile):
+        profiles = {"ep": ep_profile}
+        tasks = [
+            SweepTask(
+                workload="ep", schedule=s, n_threads=t,
+                methods=("ff", "syn"), memory_model=False,
+            )
+            for s in ("static", "static,4")
+            for t in (2, 4)
+        ]
+        serial = BatchPredictor(prophet, jobs=1).run(
+            tasks, profiles, tier="auto"
+        )
+        pooled = BatchPredictor(prophet, jobs=2).run(
+            tasks, profiles, tier="auto"
+        )
+        assert [
+            [(e.method, e.n_threads, e.speedup) for e in out]
+            for _t, out in serial
+        ] == [
+            [(e.method, e.n_threads, e.speedup) for e in out]
+            for _t, out in pooled
+        ]
+
+    def test_verify_surrogate_confident_answers_hold(self, prophet, ep_profile):
+        checked, abstained, mismatches = verify_surrogate(
+            prophet,
+            ep_profile,
+            threads=[2, 4],
+            schedules=["static"],
+            memory_model=False,
+        )
+        assert checked + abstained == 4
+        assert mismatches == []
+
+
+class TestDefaultModel:
+    def test_env_var_loads_pretrained_artifact(
+        self, surrogate, tmp_path, monkeypatch
+    ):
+        from repro.surrogate import MODEL_ENV
+
+        path = tmp_path / "model.json"
+        surrogate.save(path)
+        monkeypatch.setenv(MODEL_ENV, str(path))
+        set_default_surrogate(None)
+        try:
+            loaded = get_default_surrogate()
+            assert loaded.to_json() == surrogate.to_json()
+        finally:
+            set_default_surrogate(surrogate)
